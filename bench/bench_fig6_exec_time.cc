@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 6: normalized execution time of NUMA, COMA, and AGG (1/1 plus
+ * the reduced-D ratio) at 25% and 75% memory pressure, decomposed into
+ * Memory and Processor time, per application.
+ */
+
+#include "bench_util.hh"
+
+using namespace pimdsm;
+using namespace pimdsm::bench;
+
+int
+main()
+{
+    banner("Figure 6: normalized execution time (Memory + Processor)",
+           "COMA ~= 1/1AGG, both ~30-40% below NUMA; reduced-D AGG "
+           "only ~12% above 1/1AGG");
+
+    const int threads = paperThreads();
+
+    TablePrinter summary({"app", "NUMA", "COMA25", "COMA75",
+                          "1/1AGG25", "1/1AGG75", "redAGG25",
+                          "redAGG75"});
+
+    for (const auto &app : benchApps()) {
+        auto wl = makeWorkload(app);
+        const int red = reducedDRatio(app);
+
+        const RunResult numa =
+            run(*wl, ArchKind::Numa, threads, 0.75);
+        const double base = static_cast<double>(numa.totalTicks);
+
+        std::vector<NamedRun> runs;
+        runs.push_back({"NUMA", numa});
+        runs.push_back(
+            {"COMA25", run(*wl, ArchKind::Coma, threads, 0.25)});
+        runs.push_back(
+            {"COMA75", run(*wl, ArchKind::Coma, threads, 0.75)});
+        runs.push_back(
+            {"1/1AGG25", run(*wl, ArchKind::Agg, threads, 0.25, 1)});
+        runs.push_back(
+            {"1/1AGG75", run(*wl, ArchKind::Agg, threads, 0.75, 1)});
+        runs.push_back({"1/" + std::to_string(red) + "AGG25",
+                        run(*wl, ArchKind::Agg, threads, 0.25, red)});
+        runs.push_back({"1/" + std::to_string(red) + "AGG75",
+                        run(*wl, ArchKind::Agg, threads, 0.75, red)});
+
+        std::vector<Bar> bars;
+        std::vector<std::string> row = {app};
+        for (const auto &nr : runs) {
+            const double norm = nr.result.totalTicks / base;
+            bars.push_back(
+                {nr.label, timeSegments(nr.result, norm)});
+            row.push_back(TablePrinter::num(norm));
+        }
+        printBars(std::cout, "Fig 6 — " + app + " (vs NUMA = 1.0)",
+                  {"Memory", "Processor"}, bars);
+        summary.addRow(row);
+    }
+
+    std::cout << "Summary (execution time normalized to NUMA):\n";
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 7: aggregated read latency (sum over all reads, whether or
+ * not the processor stalled), decomposed into FLC / SLC / Memory /
+ * 2Hop / 3Hop service levels, normalized to NUMA.
+ */
+
+#include "bench_util.hh"
+
+using namespace pimdsm;
+using namespace pimdsm::bench;
+
+namespace
+{
+
+std::vector<double>
+latencySegments(const RunResult &r, double scale)
+{
+    std::vector<double> segs;
+    for (int i = 0; i < ReadLatencyStats::kNum; ++i)
+        segs.push_back(r.reads.totalLatency[i] * scale);
+    return segs;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 7: aggregated read latency by service level",
+           "AGG/COMA convert NUMA's 2Hop time into Memory time; COMA "
+           "shows more 3Hop than AGG (home displacements)");
+
+    const int threads = paperThreads();
+
+    for (const auto &app : benchApps()) {
+        auto wl = makeWorkload(app);
+        const int red = reducedDRatio(app);
+
+        const RunResult numa =
+            run(*wl, ArchKind::Numa, threads, 0.75);
+        const double base =
+            static_cast<double>(numa.reads.totalAllLatency());
+
+        std::vector<NamedRun> runs;
+        runs.push_back({"NUMA", numa});
+        runs.push_back(
+            {"COMA75", run(*wl, ArchKind::Coma, threads, 0.75)});
+        runs.push_back(
+            {"1/1AGG75", run(*wl, ArchKind::Agg, threads, 0.75, 1)});
+        runs.push_back({"1/" + std::to_string(red) + "AGG75",
+                        run(*wl, ArchKind::Agg, threads, 0.75, red)});
+
+        std::vector<Bar> bars;
+        for (const auto &nr : runs)
+            bars.push_back(
+                {nr.label, latencySegments(nr.result, 1.0 / base)});
+        printBars(std::cout,
+                  "Fig 7 — " + app + " (total read latency vs NUMA)",
+                  {"FLC", "SLC", "Memory", "2Hop", "3Hop"}, bars);
+
+        TablePrinter t({"config", "FLC", "SLC", "Memory", "2Hop",
+                        "3Hop", "reads"});
+        for (const auto &nr : runs) {
+            std::vector<std::string> row = {nr.label};
+            for (int i = 0; i < ReadLatencyStats::kNum; ++i) {
+                row.push_back(TablePrinter::pct(
+                    nr.result.reads.totalLatency[i] /
+                    static_cast<double>(
+                        nr.result.reads.totalAllLatency())));
+            }
+            row.push_back(TablePrinter::num(
+                nr.result.reads.totalAllCount() / 1e3, 0) + "k");
+            t.addRow(row);
+        }
+        t.print(std::cout);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 8: D-node memory utilization. Classifies every memory line in
+ * the machine as Dirty-in-P-Node / Shared-in-P-Node / D-Node-Only at
+ * 25%, 50% and 75% memory pressure, normalized so the total D-node
+ * storage is 100 (the paper's dotted line).
+ */
+
+#include "bench_util.hh"
+
+using namespace pimdsm;
+using namespace pimdsm::bench;
+
+int
+main()
+{
+    banner("Figure 8: D-node memory line census (AGG, reduced ratio)",
+           "D-Node-Only ~50% of D storage at 75% pressure, ~25% at "
+           "50%, tiny at 25%; large Dirty-in-P fraction");
+
+    const int threads = paperThreads();
+
+    TablePrinter t({"app", "pressure", "DirtyInP", "SharedInP",
+                    "DNodeOnly", "unused D", "SharedList reused"});
+
+    for (const auto &app : benchApps()) {
+        auto wl = makeWorkload(app);
+        const int red = reducedDRatio(app);
+
+        std::vector<Bar> bars;
+        for (double pressure : {0.75, 0.50, 0.25}) {
+            const RunResult r =
+                run(*wl, ArchKind::Agg, threads, pressure, red);
+            const double cap =
+                static_cast<double>(r.census.dNodeCapacityLines);
+            const double scale = 100.0 / cap;
+
+            const double dirty = r.census.dirtyInPNode * scale;
+            const double shared = r.census.sharedInPNode * scale;
+            const double donly = r.census.dNodeOnly * scale;
+            // Unused D storage = capacity - (D-Node-Only + home
+            // copies of shared lines); negative => SharedList reuse.
+            const double used_slots =
+                r.census.dNodeUsedLines * scale;
+            const double unused = 100.0 - used_slots;
+            const double reuses =
+                r.counters.count("dnode.sharedlist_reuse")
+                    ? r.counters.at("dnode.sharedlist_reuse")
+                    : 0.0;
+
+            const std::string label =
+                "AGG" + std::to_string(static_cast<int>(
+                            pressure * 100));
+            bars.push_back({label, {dirty, shared, donly}});
+            t.addRow({app, label, TablePrinter::num(dirty, 1),
+                      TablePrinter::num(shared, 1),
+                      TablePrinter::num(donly, 1),
+                      TablePrinter::num(unused, 1),
+                      TablePrinter::num(reuses, 0)});
+        }
+        printBars(std::cout,
+                  "Fig 8 — " + app +
+                      " (lines per 100 D-node storage slots; bar "
+                      "beyond 1.0 exceeds D capacity)",
+                  {"DirtyInP", "SharedInP", "DNodeOnly"}, bars, 100.0);
+    }
+
+    std::cout << "Census summary (normalized to 100 D-node slots):\n";
+    t.print(std::cout);
+    return 0;
+}

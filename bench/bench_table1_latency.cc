@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Table 1: measured uncontended round-trip latency of every level of
+ * the memory hierarchy on a paper-sized (32-thread) machine, next to
+ * the values the paper reports.
+ */
+
+#include "bench_util.hh"
+
+#include "machine/machine.hh"
+
+using namespace pimdsm;
+using namespace pimdsm::bench;
+
+namespace
+{
+
+MachineConfig
+cfg32(ArchKind arch)
+{
+    MachineConfig cfg = makeBaseConfig(arch);
+    cfg.pNodeMemBytes = 1 << 20;
+    cfg.dNodeMemBytes = 1 << 20;
+    return cfg;
+}
+
+Tick
+measure(Machine &m, NodeId n, Addr a, bool write = false)
+{
+    const Tick start = m.eq().curTick();
+    Tick done = 0;
+    m.compute(n)->access(a, write,
+                         [&](Tick t, ReadService) { done = t; });
+    m.eq().run();
+    return done - start;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Table 1: uncontended round-trip latencies (CPU cycles)",
+           "L1 3, L2 6, local memory 37/57, remote 2-hop 298, remote "
+           "3-hop 383");
+
+    TablePrinter t({"level", "paper", "measured", "notes"});
+    const Addr base = 1ull << 20;
+
+    {
+        Machine m(cfg32(ArchKind::Agg));
+        measure(m, 0, base); // warm caches + local memory
+        t.addRow({"on-chip L1", "3",
+                  TablePrinter::num(measure(m, 0, base), 0),
+                  "fully pipelined"});
+        m.compute(0)->l1().invalidateAll();
+        t.addRow({"on-chip L2", "6",
+                  TablePrinter::num(measure(m, 0, base), 0), ""});
+        m.compute(0)->l1().invalidateAll();
+        m.compute(0)->l2().invalidateAll();
+        t.addRow({"local memory (on-chip)", "37",
+                  TablePrinter::num(measure(m, 0, base), 0),
+                  "tagged memory hit"});
+    }
+
+    {
+        Machine m(cfg32(ArchKind::Numa));
+        measure(m, 0, base); // home at node 0
+        double sum = 0;
+        int n = 0;
+        for (NodeId r : {1, 5, 12, 18, 27, 31}) {
+            sum += static_cast<double>(
+                measure(m, r, base + 128 * (n + 1)));
+            ++n;
+        }
+        t.addRow({"remote memory, 2-hop", "298",
+                  TablePrinter::num(sum / n, 0),
+                  "NUMA, averaged over distances"});
+
+        sum = 0;
+        n = 0;
+        for (NodeId owner : {3, 9, 22}) {
+            const Addr line = base + 4096 * (n + 5);
+            measure(m, 0, line);
+            measure(m, owner, line, true);
+            sum += static_cast<double>(
+                measure(m, owner == 3 ? 28 : 6, line));
+            ++n;
+        }
+        t.addRow({"remote memory, 3-hop", "383",
+                  TablePrinter::num(sum / n, 0),
+                  "NUMA, dirty at third node"});
+    }
+
+    {
+        Machine m(cfg32(ArchKind::Agg));
+        const Tick two_hop = measure(m, 9, base);
+        t.addRow({"AGG remote 2-hop (software)", "-",
+                  TablePrinter::num(two_hop, 0),
+                  "D-node software handlers add latency"});
+    }
+
+    const MachineConfig cfg = makeBaseConfig(ArchKind::Agg);
+    t.addRow({"memory bandwidth", "32 B/cycle",
+              TablePrinter::num(cfg.mem.bandwidthBytesPerTick, 0) +
+                  " B/cycle",
+              "line transfer occupies " +
+                  TablePrinter::num(
+                      ceilDiv(cfg.mem.lineBytes,
+                              cfg.mem.bandwidthBytesPerTick), 0) +
+                  " cycles"});
+    t.addRow({"write buffer", "32-entry",
+              std::to_string(cfg.proc.writeBufferEntries) + "-entry",
+              ""});
+    t.addRow({"load buffer", "16-entry",
+              std::to_string(cfg.proc.maxOutstandingLoads) + "-entry",
+              ""});
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Table 3: the applications — problem sizes, footprints, per-app
+ * cache sizes, and the per-thread operation mix the generators
+ * produce (the scaled stand-ins for the paper's binaries; see
+ * DESIGN.md section 5).
+ */
+
+#include "bench_util.hh"
+
+using namespace pimdsm;
+using namespace pimdsm::bench;
+
+int
+main()
+{
+    banner("Table 3: applications and problem sizes",
+           "SPLASH-2 (8K/32K caches), SPEC95 swim 32K/128K, tomcatv "
+           "64K/256K, TPC-D Q3 64K/512K");
+
+    TablePrinter t({"app", "footprint", "L1", "L2", "phases",
+                    "ops/thread", "loads", "stores", "sync"});
+
+    const int threads = 8;
+    for (const auto &name : paperWorkloadNames()) {
+        auto wl = makeWorkload(name);
+
+        std::uint64_t ops = 0, loads = 0, stores = 0, sync = 0;
+        for (int phase = 0; phase < wl->numPhases(); ++phase) {
+            auto s = wl->makeStream(phase, 0, threads);
+            Op op;
+            while (s->next(op)) {
+                ++ops;
+                switch (op.kind) {
+                  case Op::Kind::Load:
+                    ++loads;
+                    break;
+                  case Op::Kind::Store:
+                    ++stores;
+                    break;
+                  case Op::Kind::Lock:
+                  case Op::Kind::Unlock:
+                  case Op::Kind::Barrier:
+                    ++sync;
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+
+        t.addRow({name,
+                  TablePrinter::num(wl->footprintBytes() /
+                                        (1024.0 * 1024.0), 1) + " MB",
+                  std::to_string(wl->l1Bytes() / 1024) + "K",
+                  std::to_string(wl->l2Bytes() / 1024) + "K",
+                  std::to_string(wl->numPhases()),
+                  TablePrinter::num(ops / 1e3, 0) + "k",
+                  TablePrinter::num(loads / 1e3, 0) + "k",
+                  TablePrinter::num(stores / 1e3, 0) + "k",
+                  std::to_string(sync)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(per-thread op counts for thread 0 of " << threads
+              << "; problem sizes are the scale=1 defaults — see "
+                 "DESIGN.md for the scaling rationale)\n";
+    return 0;
+}

@@ -1,0 +1,263 @@
+#include "core/processor.hh"
+
+#include <algorithm>
+
+#include "core/sync.hh"
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+Processor::Processor(EventQueue &eq, ComputeBase &port, SyncManager &sync,
+                     ThreadId tid, const ProcParams &params)
+    : eq_(eq), port_(port), sync_(sync), tid_(tid), params_(params),
+      wb_(port, params)
+{
+    wb_.setSpaceCallback([this] {
+        if (wait_ == Wait::StoreSlot)
+            resume(true);
+        else if (wait_ == Wait::EndDrain)
+            maybeFinish();
+    });
+}
+
+void
+Processor::run(std::unique_ptr<OpStream> stream,
+               std::function<void()> on_done)
+{
+    stream_ = std::move(stream);
+    onDone_ = std::move(on_done);
+    finished_ = false;
+    hasPendingOp_ = false;
+    wait_ = Wait::None;
+    scheduleStep(eq_.curTick());
+}
+
+void
+Processor::scheduleStep(Tick when)
+{
+    if (stepScheduled_)
+        return;
+    stepScheduled_ = true;
+    eq_.schedule(when, [this] {
+        stepScheduled_ = false;
+        step();
+    });
+}
+
+std::uint64_t
+Processor::earliestDeadline() const
+{
+    std::uint64_t best = kMaxTick;
+    for (const auto &l : loads_) {
+        if (!l.done)
+            best = std::min(best, l.deadlineInstr);
+    }
+    return best;
+}
+
+bool
+Processor::overdueLoad() const
+{
+    for (const auto &l : loads_) {
+        if (!l.done && l.deadlineInstr <= instrCount_)
+            return true;
+    }
+    return false;
+}
+
+void
+Processor::enterStall(Wait reason)
+{
+    wait_ = reason;
+    stallStart_ = eq_.curTick();
+}
+
+void
+Processor::resume(bool memory_stall)
+{
+    const Tick waited = eq_.curTick() - stallStart_;
+    if (memory_stall)
+        time_.memoryStall += waited;
+    else
+        time_.sync += waited;
+    wait_ = Wait::None;
+    scheduleStep(eq_.curTick());
+}
+
+void
+Processor::onLoadComplete(std::uint64_t id)
+{
+    for (auto &l : loads_) {
+        if (l.id == id) {
+            l.done = true;
+            break;
+        }
+    }
+    // Retire completed loads that are no longer needed.
+    loads_.erase(std::remove_if(loads_.begin(), loads_.end(),
+                                [](const PendingLoad &l) {
+                                    return l.done;
+                                }),
+                 loads_.end());
+
+    if (wait_ == Wait::LoadUse && !overdueLoad())
+        resume(true);
+    else if (wait_ == Wait::LoadSlot)
+        resume(true);
+    else if (wait_ == Wait::EndDrain)
+        maybeFinish();
+}
+
+void
+Processor::maybeFinish()
+{
+    if (wait_ != Wait::EndDrain)
+        return;
+    if (!loads_.empty() || !wb_.empty())
+        return;
+    time_.memoryStall += eq_.curTick() - stallStart_;
+    wait_ = Wait::None;
+    finished_ = true;
+    if (onDone_)
+        onDone_();
+}
+
+void
+Processor::step()
+{
+    if (finished_ || wait_ != Wait::None)
+        return;
+
+    while (true) {
+        // 1. An overdue load stalls the pipeline until the data returns.
+        if (overdueLoad()) {
+            enterStall(Wait::LoadUse);
+            return;
+        }
+
+        // 2. Fetch the next op.
+        if (!hasPendingOp_) {
+            if (!stream_ || !stream_->next(pendingOp_))
+                pendingOp_.kind = Op::Kind::End;
+            hasPendingOp_ = true;
+        }
+
+        switch (pendingOp_.kind) {
+          case Op::Kind::Compute:
+            {
+                // Execute up to the next load-use deadline, then let
+                // the overdue check above decide whether to stall.
+                std::uint64_t n = pendingOp_.count;
+                const std::uint64_t dl = earliestDeadline();
+                if (dl != kMaxTick && dl > instrCount_)
+                    n = std::min<std::uint64_t>(n, dl - instrCount_);
+                if (n == 0)
+                    n = pendingOp_.count; // deadline already behind us
+
+                instrCount_ += n;
+                const Tick cycles = ceilDiv(
+                    n, static_cast<std::uint64_t>(params_.issueWidth));
+                time_.busy += cycles;
+                if (n == pendingOp_.count)
+                    hasPendingOp_ = false;
+                else
+                    pendingOp_.count -= n;
+                scheduleStep(eq_.curTick() + cycles);
+                return;
+            }
+
+          case Op::Kind::Load:
+            {
+                if (static_cast<int>(loads_.size()) >=
+                    params_.maxOutstandingLoads) {
+                    enterStall(Wait::LoadSlot);
+                    return;
+                }
+                const std::uint64_t id = nextLoadId_++;
+                loads_.push_back(PendingLoad{
+                    id, instrCount_ + pendingOp_.useDist, false});
+                ++loadsIssued_;
+                port_.access(pendingOp_.addr, false,
+                             [this, id](Tick, ReadService) {
+                                 onLoadComplete(id);
+                             });
+                hasPendingOp_ = false;
+                continue;
+            }
+
+          case Op::Kind::Store:
+            {
+                if (wb_.full()) {
+                    enterStall(Wait::StoreSlot);
+                    return;
+                }
+                ++storesIssued_;
+                wb_.push(pendingOp_.addr);
+                hasPendingOp_ = false;
+                continue;
+            }
+
+          case Op::Kind::Barrier:
+            {
+                const Addr addr = pendingOp_.addr;
+                hasPendingOp_ = false;
+                enterStall(Wait::Sync);
+                wb_.flush([this, addr] {
+                    sync_.arriveBarrier(addr, port_,
+                                        [this] { resume(false); });
+                });
+                return;
+            }
+
+          case Op::Kind::Lock:
+            {
+                const Addr addr = pendingOp_.addr;
+                hasPendingOp_ = false;
+                enterStall(Wait::Sync);
+                sync_.acquireLock(addr, port_,
+                                  [this] { resume(false); });
+                return;
+            }
+
+          case Op::Kind::Unlock:
+            {
+                const Addr addr = pendingOp_.addr;
+                hasPendingOp_ = false;
+                enterStall(Wait::Sync);
+                wb_.flush([this, addr] {
+                    sync_.releaseLock(addr, port_);
+                    resume(false);
+                });
+                return;
+            }
+
+          case Op::Kind::Cim:
+            {
+                const Op op = pendingOp_;
+                hasPendingOp_ = false;
+                enterStall(Wait::Cim);
+                port_.sendCim(op.cimNode, op.addr, op.cimRecords,
+                              op.cimMatches,
+                              [this](Tick) { resume(true); });
+                return;
+            }
+
+          case Op::Kind::End:
+            {
+                if (!loads_.empty() || !wb_.empty()) {
+                    enterStall(Wait::EndDrain);
+                    // maybeFinish() fires from the load/store
+                    // completion callbacks.
+                    return;
+                }
+                finished_ = true;
+                if (onDone_)
+                    onDone_();
+                return;
+            }
+        }
+    }
+}
+
+} // namespace pimdsm

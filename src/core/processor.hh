@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Processor model (Table 1): 1 GHz 4-issue core with up to 32
+ * outstanding memory accesses (16 loads), a 16-entry load buffer
+ * modeled as stall-on-use with per-load use distances, and a 32-entry
+ * coalescing write buffer. Time is decomposed into busy, sync (spin),
+ * and memory-stall components for Figure 6.
+ */
+
+#ifndef PIMDSM_CORE_PROCESSOR_HH
+#define PIMDSM_CORE_PROCESSOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/write_buffer.hh"
+#include "proto/compute_base.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "workload/workload.hh"
+
+namespace pimdsm
+{
+
+class SyncManager;
+
+class Processor
+{
+  public:
+    Processor(EventQueue &eq, ComputeBase &port, SyncManager &sync,
+              ThreadId tid, const ProcParams &params);
+
+    ThreadId tid() const { return tid_; }
+
+    /**
+     * Begin executing @p stream; @p on_done fires when the stream and
+     * all outstanding activity have drained.
+     */
+    void run(std::unique_ptr<OpStream> stream,
+             std::function<void()> on_done);
+
+    bool finished() const { return finished_; }
+
+    const TimeBreakdown &time() const { return time_; }
+    std::uint64_t instructions() const { return instrCount_; }
+    std::uint64_t loadsIssued() const { return loadsIssued_; }
+    std::uint64_t storesIssued() const { return storesIssued_; }
+
+    WriteBuffer &writeBuffer() { return wb_; }
+
+  private:
+    enum class Wait
+    {
+        None,       ///< executing
+        LoadUse,    ///< stalled on an overdue load
+        LoadSlot,   ///< load buffer full
+        StoreSlot,  ///< write buffer full
+        Sync,       ///< barrier/lock
+        Cim,        ///< waiting for a CIM reply
+        EndDrain,   ///< stream done, draining loads + write buffer
+    };
+
+    struct PendingLoad
+    {
+        std::uint64_t id;
+        std::uint64_t deadlineInstr;
+        bool done = false;
+    };
+
+    void step();
+    void scheduleStep(Tick when);
+    void onLoadComplete(std::uint64_t id);
+    void enterStall(Wait reason);
+    void resume(bool memory_stall);
+    void maybeFinish();
+
+    /** Earliest deadline among incomplete loads (kMaxTick if none). */
+    std::uint64_t earliestDeadline() const;
+
+    /** True if some incomplete load's deadline has passed. */
+    bool overdueLoad() const;
+
+    EventQueue &eq_;
+    ComputeBase &port_;
+    SyncManager &sync_;
+    ThreadId tid_;
+    ProcParams params_;
+    WriteBuffer wb_;
+
+    std::unique_ptr<OpStream> stream_;
+    std::function<void()> onDone_;
+
+    Op pendingOp_;
+    bool hasPendingOp_ = false;
+    bool finished_ = false;
+    bool stepScheduled_ = false;
+
+    Wait wait_ = Wait::None;
+    Tick stallStart_ = 0;
+
+    std::vector<PendingLoad> loads_;
+    std::uint64_t nextLoadId_ = 0;
+
+    std::uint64_t instrCount_ = 0;
+    std::uint64_t loadsIssued_ = 0;
+    std::uint64_t storesIssued_ = 0;
+    TimeBreakdown time_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_CORE_PROCESSOR_HH

@@ -1,0 +1,73 @@
+#include "core/sync.hh"
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+void
+SyncManager::arriveBarrier(Addr addr, ComputeBase &port,
+                           std::function<void()> resume)
+{
+    // The arrival is a store on the barrier line (fetch&increment).
+    port.access(addr, true, [this, addr, &port,
+                             resume = std::move(resume)](Tick,
+                                                         ReadService) {
+        Barrier &b = barriers_[addr];
+        b.waiters.emplace_back(&port, resume);
+        if (++b.arrived < numThreads_)
+            return;
+
+        // Last arrival: release. Each waiter re-reads the barrier
+        // line (invalidation storm + refetch, like real spinning).
+        ++barrierEpisodes_;
+        auto waiters = std::move(b.waiters);
+        b.arrived = 0;
+        b.waiters.clear();
+        for (auto &[p, cb] : waiters) {
+            p->access(addr, false,
+                      [cb = cb](Tick, ReadService) { cb(); });
+        }
+    });
+}
+
+void
+SyncManager::acquireLock(Addr addr, ComputeBase &port,
+                         std::function<void()> resume)
+{
+    // test&set: a store on the lock line.
+    port.access(addr, true, [this, addr, &port,
+                             resume = std::move(resume)](Tick,
+                                                         ReadService) {
+        Lock &l = locks_[addr];
+        if (!l.held) {
+            l.held = true;
+            resume();
+        } else {
+            l.waiters.emplace_back(&port, std::move(resume));
+        }
+    });
+}
+
+void
+SyncManager::releaseLock(Addr addr, ComputeBase &port)
+{
+    port.access(addr, true, [this, addr](Tick, ReadService) {
+        Lock &l = locks_[addr];
+        if (!l.held)
+            panic("releasing a lock that is not held");
+        if (l.waiters.empty()) {
+            l.held = false;
+            return;
+        }
+        ++lockHandoffs_;
+        auto [p, cb] = std::move(l.waiters.front());
+        l.waiters.pop_front();
+        // The next holder re-reads the lock line before entering.
+        p->access(addr, false, [cb = std::move(cb)](Tick, ReadService) {
+            cb();
+        });
+    });
+}
+
+} // namespace pimdsm

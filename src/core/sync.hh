@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Synchronization: centralized barriers and queued locks. Both
+ * generate real coherence traffic (stores/loads on the sync line), so
+ * hot barriers and contended locks load the home nodes — important for
+ * the D-node-intensive phases of Radix and Dbase.
+ */
+
+#ifndef PIMDSM_CORE_SYNC_HH
+#define PIMDSM_CORE_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "proto/compute_base.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+class SyncManager
+{
+  public:
+    explicit SyncManager(int num_threads) : numThreads_(num_threads) {}
+
+    void setNumThreads(int n) { numThreads_ = n; }
+    int numThreads() const { return numThreads_; }
+
+    /**
+     * Arrive at the barrier identified by @p addr. The arrival performs
+     * a store (fetch&increment) on the barrier line; the last arrival
+     * releases everyone, and each waiter re-reads the line before
+     * resuming.
+     */
+    void arriveBarrier(Addr addr, ComputeBase &port,
+                       std::function<void()> resume);
+
+    /** Acquire the queued lock at @p addr (store = test&set). */
+    void acquireLock(Addr addr, ComputeBase &port,
+                     std::function<void()> resume);
+
+    /** Release the lock at @p addr, handing it to the next waiter. */
+    void releaseLock(Addr addr, ComputeBase &port);
+
+    std::uint64_t barrierEpisodes() const { return barrierEpisodes_; }
+    std::uint64_t lockHandoffs() const { return lockHandoffs_; }
+
+  private:
+    struct Barrier
+    {
+        int arrived = 0;
+        std::vector<std::pair<ComputeBase *, std::function<void()>>>
+            waiters;
+    };
+
+    struct Lock
+    {
+        bool held = false;
+        std::deque<std::pair<ComputeBase *, std::function<void()>>>
+            waiters;
+    };
+
+    int numThreads_;
+    std::unordered_map<Addr, Barrier> barriers_;
+    std::unordered_map<Addr, Lock> locks_;
+    std::uint64_t barrierEpisodes_ = 0;
+    std::uint64_t lockHandoffs_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_CORE_SYNC_HH

@@ -1,0 +1,249 @@
+#include "machine/machine.hh"
+
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg_(cfg), mesh_(eq_, cfg.net, cfg.totalNodes()),
+      pageMap_(cfg.pageBytes)
+{
+    cfg_.validate();
+    roles_.resize(cfg_.totalNodes());
+    computes_.resize(cfg_.totalNodes());
+    homes_.resize(cfg_.totalNodes());
+
+    if (cfg_.arch == ArchKind::Agg)
+        buildAgg();
+    else
+        buildNumaOrComa();
+}
+
+void
+Machine::buildAgg()
+{
+    // Node ids [0, P) are P-nodes, [P, P+D) are D-nodes; the mesh
+    // placement interleaves them physically (see Mesh::setPlacement).
+    // When the machine is reconfigurable, every node carries both
+    // controllers so roles can change at run time.
+    for (NodeId n = 0; n < cfg_.numPNodes; ++n) {
+        roles_[n] = NodeRole::Compute;
+        computes_[n] = std::make_unique<CachedMemCompute>(
+            *this, n, cfg_.pNodeMemBytes, false);
+        if (cfg_.reconfigurable) {
+            homes_[n] = std::make_unique<AggDNodeHome>(
+                *this, n, cfg_.dNodeMemBytes);
+        }
+    }
+    for (NodeId n = cfg_.numPNodes; n < cfg_.totalNodes(); ++n) {
+        roles_[n] = NodeRole::Directory;
+        homes_[n] =
+            std::make_unique<AggDNodeHome>(*this, n, cfg_.dNodeMemBytes);
+        if (cfg_.reconfigurable) {
+            computes_[n] = std::make_unique<CachedMemCompute>(
+                *this, n, cfg_.pNodeMemBytes, false);
+        }
+    }
+
+    // Physical placement: spread the D-nodes evenly across the mesh
+    // so protocol traffic does not funnel through the bisection
+    // between a P half and a D half.
+    const int total = cfg_.totalNodes();
+    std::vector<int> placement(total);
+    std::vector<NodeId> ds, ps;
+    for (NodeId n = 0; n < total; ++n) {
+        const bool d_slot = ((n + 1) * cfg_.numDNodes) / total >
+                            (n * cfg_.numDNodes) / total;
+        (d_slot ? ds : ps).push_back(n);
+    }
+    std::size_t pi = 0, di = 0;
+    for (NodeId slot = 0; slot < total; ++slot) {
+        const bool d_slot = ((slot + 1) * cfg_.numDNodes) / total >
+                            (slot * cfg_.numDNodes) / total;
+        // D-ids are [numPNodes, total); P-ids are [0, numPNodes).
+        placement[slot] = d_slot
+                              ? cfg_.numPNodes + static_cast<int>(di++)
+                              : static_cast<int>(pi++);
+    }
+    mesh_.setPlacement(placement);
+}
+
+void
+Machine::buildNumaOrComa()
+{
+    const bool coma = cfg_.arch == ArchKind::Coma;
+    for (NodeId n = 0; n < cfg_.numPNodes; ++n) {
+        roles_[n] = NodeRole::Both;
+        if (coma) {
+            auto am = std::make_unique<CachedMemCompute>(
+                *this, n, cfg_.pNodeMemBytes, true);
+            auto hm =
+                std::make_unique<ComaHome>(*this, n, cfg_.numPNodes);
+            hm->setLocalCompute(am.get());
+            computes_[n] = std::move(am);
+            homes_[n] = std::move(hm);
+        } else {
+            computes_[n] = std::make_unique<NumaCompute>(*this, n);
+            homes_[n] = std::make_unique<NumaHome>(*this, n,
+                                                   cfg_.pNodeMemBytes);
+        }
+    }
+}
+
+std::vector<NodeId>
+Machine::computeNodes() const
+{
+    std::vector<NodeId> result;
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (isCompute(n) && computes_[n])
+            result.push_back(n);
+    }
+    return result;
+}
+
+std::vector<NodeId>
+Machine::directoryNodes() const
+{
+    std::vector<NodeId> result;
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (isDirectory(n) && homes_[n])
+            result.push_back(n);
+    }
+    return result;
+}
+
+NodeId
+Machine::homeOf(Addr line_addr, NodeId toucher)
+{
+    const NodeId mapped = pageMap_.homeOf(line_addr);
+    if (mapped != kInvalidNode)
+        return mapped;
+
+    NodeId home;
+    if (cfg_.arch == ArchKind::Agg) {
+        // First touch maps the page at a D-node; spread pages across
+        // the directory nodes round-robin.
+        const auto dnodes = directoryNodes();
+        if (dnodes.empty())
+            panic("AGG machine with no directory nodes");
+        home = dnodes[nextDNode_++ % dnodes.size()];
+    } else {
+        // First-touch policy: the toucher's node is the home.
+        home = toucher;
+    }
+    pageMap_.assign(line_addr, home);
+    return home;
+}
+
+void
+Machine::send(Message msg)
+{
+    if (msg.src == kInvalidNode || msg.dst == kInvalidNode)
+        panic("message with unset endpoints: " + msg.toString());
+
+    auto deliver = [this, msg] {
+        if (Trace::enabled("proto"))
+            Trace::print(eq_.curTick(), "proto", msg.toString());
+        if (msgBoundForHome(msg.type)) {
+            if (!homes_[msg.dst])
+                panic("home-bound message to a pure compute node: " +
+                      msg.toString());
+            homes_[msg.dst]->handleMessage(msg);
+        } else {
+            if (!computes_[msg.dst])
+                panic("compute-bound message to a pure D-node: " +
+                      msg.toString());
+            computes_[msg.dst]->handleMessage(msg);
+        }
+    };
+
+    if (msg.src == msg.dst) {
+        // On-chip: bypass the network entirely.
+        eq_.scheduleIn(1, std::move(deliver));
+        return;
+    }
+    mesh_.send(msg.src, msg.dst, msg.payloadBytes(cfg_.mem.lineBytes),
+               std::move(deliver));
+}
+
+std::uint64_t
+Machine::computeNodeMask() const
+{
+    std::uint64_t mask = 0;
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (isCompute(n) && computes_[n])
+            mask |= 1ull << n;
+    }
+    return mask;
+}
+
+Version
+Machine::latestVersion(Addr line) const
+{
+    auto it = versions_.find(line);
+    return it == versions_.end() ? 0 : it->second;
+}
+
+LineCensus
+Machine::collectCensus() const
+{
+    LineCensus census;
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (isDirectory(n) && homes_[n])
+            homes_[n]->collectCensus(census);
+    }
+    return census;
+}
+
+ReadLatencyStats
+Machine::aggregateReadStats() const
+{
+    ReadLatencyStats total;
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (computes_[n])
+            total += computes_[n]->readStats();
+    }
+    return total;
+}
+
+void
+Machine::dumpState(std::ostream &os) const
+{
+    os << "=== machine state at tick " << eq_.curTick() << " ===\n";
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (computes_[n] && computes_[n]->outstanding()) {
+            os << "node " << n << ": " << computes_[n]->outstanding()
+               << " outstanding MSHRs\n";
+        }
+        if (homes_[n]) {
+            homes_[n]->directory().forEach(
+                [&](Addr a, const DirEntry &e) {
+                    if (e.busy || !e.pending.empty()) {
+                        os << "home " << n << ": line 0x" << std::hex
+                           << a << std::dec << " busy=" << e.busy
+                           << " pending=" << e.pending.size()
+                           << " state=" << static_cast<int>(e.state)
+                           << " owner=" << e.owner
+                           << " sharers=0x" << std::hex << e.sharers
+                           << std::dec << "\n";
+                    }
+                });
+        }
+    }
+}
+
+void
+Machine::checkInvariants() const
+{
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (homes_[n])
+            homes_[n]->checkInvariants();
+        if (computes_[n])
+            computes_[n]->checkInclusion();
+    }
+}
+
+} // namespace pimdsm

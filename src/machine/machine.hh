@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The simulated multiprocessor: nodes (compute and/or home controllers),
+ * the mesh, the page map, and the functional version oracle. Implements
+ * ProtoContext for the protocol controllers.
+ */
+
+#ifndef PIMDSM_MACHINE_MACHINE_HH
+#define PIMDSM_MACHINE_MACHINE_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/page_map.hh"
+#include "net/mesh.hh"
+#include "proto/agg_dnode.hh"
+#include "proto/agg_pnode.hh"
+#include "proto/coma_node.hh"
+#include "proto/compute_base.hh"
+#include "proto/context.hh"
+#include "proto/home_base.hh"
+#include "proto/numa_node.hh"
+
+namespace pimdsm
+{
+
+/** What a node is currently doing (AGG machines can reconfigure). */
+enum class NodeRole
+{
+    Compute,    ///< P-node
+    Directory,  ///< D-node
+    Both,       ///< NUMA/COMA node: compute + home on one chip
+};
+
+class Machine : public ProtoContext
+{
+  public:
+    explicit Machine(const MachineConfig &cfg);
+    ~Machine() override = default;
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    // --- ProtoContext ---
+    EventQueue &eq() override { return eq_; }
+    const MachineConfig &config() const override { return cfg_; }
+    NodeId homeOf(Addr line_addr, NodeId toucher) override;
+    void send(Message msg) override;
+    Version bumpVersion(Addr line) override { return ++versions_[line]; }
+    Version latestVersion(Addr line) const override;
+    StatSet &stats() override { return stats_; }
+    std::uint64_t computeNodeMask() const override;
+
+    // --- topology ---
+    int totalNodes() const { return static_cast<int>(roles_.size()); }
+    NodeRole role(NodeId n) const { return roles_[n]; }
+    void setRole(NodeId n, NodeRole r) { roles_[n] = r; }
+    bool isCompute(NodeId n) const
+    {
+        return roles_[n] != NodeRole::Directory;
+    }
+    bool isDirectory(NodeId n) const
+    {
+        return roles_[n] != NodeRole::Compute;
+    }
+
+    /** Node ids currently acting as compute nodes, in id order. */
+    std::vector<NodeId> computeNodes() const;
+    /** Node ids currently acting as directory nodes, in id order. */
+    std::vector<NodeId> directoryNodes() const;
+
+    ComputeBase *compute(NodeId n) { return computes_[n].get(); }
+    HomeBase *home(NodeId n) { return homes_[n].get(); }
+    const ComputeBase *compute(NodeId n) const
+    {
+        return computes_[n].get();
+    }
+    const HomeBase *home(NodeId n) const { return homes_[n].get(); }
+
+    Mesh &mesh() { return mesh_; }
+    PageMap &pageMap() { return pageMap_; }
+
+    // --- analysis ---
+    /** Figure 8 census over active directory nodes. */
+    LineCensus collectCensus() const;
+
+    /** Figure 7 aggregation over active compute nodes. */
+    ReadLatencyStats aggregateReadStats() const;
+
+    /** Directory + inclusion invariants on every node (tests). */
+    void checkInvariants() const;
+
+    /** Dump transient protocol state (deadlock diagnostics). */
+    void dumpState(std::ostream &os) const;
+
+    std::uint64_t messagesSent() const { return mesh_.messagesSent(); }
+
+  private:
+    void buildAgg();
+    void buildNumaOrComa();
+
+    MachineConfig cfg_;
+    EventQueue eq_;
+    Mesh mesh_;
+    PageMap pageMap_;
+    std::vector<NodeRole> roles_;
+    std::vector<std::unique_ptr<ComputeBase>> computes_;
+    std::vector<std::unique_ptr<HomeBase>> homes_;
+    std::unordered_map<Addr, Version> versions_;
+    StatSet stats_;
+    std::uint64_t nextDNode_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_MACHINE_MACHINE_HH

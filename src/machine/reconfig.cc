@@ -1,0 +1,111 @@
+#include "machine/reconfig.hh"
+
+#include <vector>
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+ReconfigResult
+applyReconfig(Machine &m, int new_p, int new_d)
+{
+    const MachineConfig &cfg = m.config();
+    if (cfg.arch != ArchKind::Agg)
+        fatal("only AGG machines reconfigure");
+    if (!cfg.reconfigurable)
+        fatal("machine was not built reconfigurable");
+    if (new_p + new_d != m.totalNodes())
+        fatal("reconfiguration must cover every node");
+    if (new_p < 1 || new_d < 1)
+        fatal("need at least one P-node and one D-node");
+    if (!m.eq().empty())
+        panic("reconfiguration requires a quiescent machine");
+
+    ReconfigResult res;
+
+    std::vector<NodeId> surviving_d;
+    for (NodeId n = new_p; n < m.totalNodes(); ++n)
+        surviving_d.push_back(n);
+
+    // 1. Flush compute state of nodes that switch from P to D: the OS
+    //    writes back their dirty and shared-master lines (Section 2.3).
+    for (NodeId n = 0; n < m.totalNodes(); ++n) {
+        const bool was_p = m.role(n) == NodeRole::Compute;
+        const bool now_d = n >= new_p;
+        if (!(was_p && now_d))
+            continue;
+        ++res.nodesChanged;
+        auto lines = m.compute(n)->drainForReconfig();
+        for (auto &[line, st, v] : lines) {
+            const NodeId home = m.pageMap().homeOf(line);
+            if (home == kInvalidNode)
+                continue;
+            m.home(home)->functionalWriteBack(line, n, v);
+            if (cohOwned(st))
+                ++res.linesMigrated;
+        }
+    }
+
+    // 2. Migrate pages off nodes that switch from D to P.
+    std::uint64_t rr = 0;
+    for (NodeId n = 0; n < m.totalNodes(); ++n) {
+        const bool was_d = m.role(n) == NodeRole::Directory;
+        const bool now_p = n < new_p;
+        if (!(was_d && now_p))
+            continue;
+        ++res.nodesChanged;
+
+        const auto pages = m.pageMap().pagesHomedAt(n);
+        for (Addr page : pages) {
+            m.pageMap().remap(page,
+                              surviving_d[rr++ % surviving_d.size()]);
+        }
+        res.pagesMoved += pages.size();
+
+        // Move every directory entry (and home copy) to the page's
+        // new home.
+        std::vector<std::pair<Addr, DirEntry>> entries;
+        m.home(n)->directory().forEach(
+            [&](Addr line, const DirEntry &e) {
+                entries.emplace_back(line, e);
+            });
+        for (auto &[line, e] : entries) {
+            const NodeId target = m.pageMap().homeOf(line);
+            if (target == kInvalidNode || target == n)
+                panic("page migration left a line behind");
+            m.home(target)->adoptEntry(line, e);
+            // Only entries with a home copy move a memory line; the
+            // rest are 8-byte Directory entries.
+            if (e.homeHasData)
+                ++res.linesMigrated;
+            else
+                ++res.dirEntriesMoved;
+        }
+        m.home(n)->resetForReconfig();
+    }
+
+    // 3. Flip the roles.
+    for (NodeId n = 0; n < m.totalNodes(); ++n) {
+        m.setRole(n, n < new_p ? NodeRole::Compute
+                               : NodeRole::Directory);
+    }
+
+    // 4. Overhead model (Section 4.2): a base cost for setup,
+    //    synchronization and decision making, plus per-line collection
+    //    and migration, page-mapping updates per 10 pages, and a TLB
+    //    update in every P-node processor.
+    const ReconfigCosts &rc = cfg.reconfig;
+    res.cost = rc.baseCost + rc.perLineCost * res.linesMigrated +
+               rc.perDirEntryCost * res.dirEntriesMoved +
+               rc.perTenPagesCost * ((res.pagesMoved + 9) / 10) +
+               rc.tlbUpdateCost * static_cast<Tick>(new_p);
+
+    m.stats().add("reconfig.episodes");
+    m.stats().add("reconfig.lines", static_cast<double>(
+                                        res.linesMigrated));
+    m.stats().add("reconfig.pages", static_cast<double>(res.pagesMoved));
+    return res;
+}
+
+} // namespace pimdsm

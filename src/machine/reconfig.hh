@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Dynamic reconfiguration (Section 2.3 / Figure 10-a): change the
+ * machine's P/D partition at a quiesce point, with the paper's
+ * overhead model (base cost + per-line migration + page-remap +
+ * TLB-update costs).
+ */
+
+#ifndef PIMDSM_MACHINE_RECONFIG_HH
+#define PIMDSM_MACHINE_RECONFIG_HH
+
+#include "machine/machine.hh"
+
+namespace pimdsm
+{
+
+struct ReconfigResult
+{
+    Tick cost = 0;
+    /** Lines whose data moved (flushed owned lines + home copies). */
+    std::uint64_t linesMigrated = 0;
+    /** Directory entries moved without data. */
+    std::uint64_t dirEntriesMoved = 0;
+    std::uint64_t pagesMoved = 0;
+    std::uint64_t nodesChanged = 0;
+};
+
+/**
+ * Repartition @p m into @p new_p P-nodes followed by @p new_d D-nodes
+ * (new_p + new_d must equal the machine's node count, and the machine
+ * must have been built reconfigurable and be quiescent).
+ *
+ *  - P-nodes that become D-nodes have their dirty/master lines written
+ *    back and their memory controller switched to plain mode.
+ *  - D-nodes that become P-nodes have their pages (directory entries +
+ *    home copies) migrated to the surviving D-nodes.
+ *
+ * @return the modeled overhead, which the caller should charge to the
+ *         machine clock.
+ */
+ReconfigResult applyReconfig(Machine &m, int new_p, int new_d);
+
+} // namespace pimdsm
+
+#endif // PIMDSM_MACHINE_RECONFIG_HH

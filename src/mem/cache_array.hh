@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Generic set-associative tag array used by the L1/L2 caches, the tagged
+ * local memories of AGG P-nodes, and COMA attraction memories.
+ */
+
+#ifndef PIMDSM_MEM_CACHE_ARRAY_HH
+#define PIMDSM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+/**
+ * Node-level coherence state of a memory line (Section 2.1.1 plus the
+ * COMA-inspired shared-master state of Section 2.2.2).
+ */
+enum class CohState : std::uint8_t
+{
+    Invalid = 0,
+    Shared,       ///< read-only copy; home (or a master) also has it
+    SharedMaster, ///< read-only copy holding mastership; must write back
+    Dirty,        ///< exclusive modified copy; no home placeholder in AGG
+};
+
+const char *cohStateName(CohState s);
+
+/** True for states that hold readable data. */
+constexpr bool
+cohValid(CohState s)
+{
+    return s != CohState::Invalid;
+}
+
+/** True for states whose displacement must reach the home. */
+constexpr bool
+cohOwned(CohState s)
+{
+    return s == CohState::Dirty || s == CohState::SharedMaster;
+}
+
+/** One tag-array entry. */
+struct CacheLine
+{
+    Addr lineAddr = kInvalidAddr; ///< aligned line address (tag)
+    CohState state = CohState::Invalid;
+    bool dirty = false;           ///< L1/L2 write-back bit
+    bool onChip = true;           ///< tagged-memory on-/off-chip residence
+    std::uint64_t lastUse = 0;    ///< LRU clock
+    Version version = 0;          ///< functional data version (node level)
+
+    bool valid() const { return state != CohState::Invalid; }
+
+    void
+    reset()
+    {
+        lineAddr = kInvalidAddr;
+        state = CohState::Invalid;
+        dirty = false;
+        lastUse = 0;
+        version = 0;
+    }
+};
+
+/** Victim-selection disciplines. */
+enum class VictimPolicy
+{
+    Lru,  ///< invalid first, then least recently used
+    /**
+     * COMA replacement (Section 3): invalid and non-master lines are
+     * replaced first; master/dirty lines only as a last resort.
+     */
+    ComaPriority,
+    /**
+     * Invalid first, then pseudo-random. DRAM caches favor simple
+     * replacement, and random avoids LRU's zero-retention pathology
+     * on cyclic sweeps larger than the capacity.
+     */
+    Random,
+};
+
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes total capacity
+     * @param assoc ways per set
+     * @param line_bytes line size (power of two)
+     */
+    CacheArray(std::uint64_t size_bytes, int assoc, int line_bytes);
+
+    int numSets() const { return numSets_; }
+    int assoc() const { return assoc_; }
+    int lineBytes() const { return lineBytes_; }
+    std::uint64_t numLines() const
+    {
+        return static_cast<std::uint64_t>(numSets_) * assoc_;
+    }
+
+    /** Set index for an address. */
+    int setIndex(Addr addr) const;
+
+    /** Align an address to this array's line size. */
+    Addr align(Addr addr) const
+    {
+        return blockAlign(addr, static_cast<std::uint64_t>(lineBytes_));
+    }
+
+    /** Find the valid entry holding @p addr's line, or nullptr. */
+    CacheLine *find(Addr addr);
+    const CacheLine *find(Addr addr) const;
+
+    /**
+     * Choose the way that an insertion of @p addr's line would use:
+     * an invalid way if available, otherwise the policy's victim.
+     * Never returns nullptr.
+     */
+    CacheLine *victim(Addr addr, VictimPolicy policy = VictimPolicy::Lru);
+
+    /** Mark @p line most recently used. */
+    void touch(CacheLine &line) { line.lastUse = ++lruClock_; }
+
+    /** Invalidate all lines (does not report dirty victims). */
+    void invalidateAll();
+
+    /** Visit every entry (valid or not). */
+    void forEach(const std::function<void(CacheLine &)> &fn);
+    void forEach(const std::function<void(const CacheLine &)> &fn) const;
+
+    /** Visit the ways of one set. */
+    void forEachInSet(int set, const std::function<void(CacheLine &)> &fn);
+
+    /** Count of valid entries (linear scan; for tests and census). */
+    std::uint64_t countValid() const;
+
+  private:
+    int replacementRank(const CacheLine &line, VictimPolicy policy) const;
+
+    /** Deterministic pseudo-random way pick. */
+    int randomWay();
+
+    std::uint64_t randState_ = 0x2545f4914f6cdd1dull;
+
+    int numSets_;
+    int assoc_;
+    int lineBytes_;
+    int setShift_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<CacheLine> lines_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,24 @@
+#include "mem/plain_memory.hh"
+
+namespace pimdsm
+{
+
+PlainMemory::PlainMemory(std::uint64_t size_bytes, const MemParams &params)
+    : sizeBytes_(size_bytes), params_(params)
+{
+    double frac = params.onChipFraction;
+    if (frac < 0.0)
+        frac = 0.0;
+    if (frac > 1.0)
+        frac = 1.0;
+    onChipLines_ = static_cast<std::uint64_t>(frac * capacityLines());
+}
+
+Tick
+PlainMemory::accessLatency(std::uint64_t slot_index) const
+{
+    return slot_index < onChipLines_ ? params_.onChipLatency
+                                     : params_.offChipLatency;
+}
+
+} // namespace pimdsm

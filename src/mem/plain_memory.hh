@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Untagged DRAM timing model: NUMA home memory and the raw storage
+ * behind a D-node's software-managed Data array.
+ */
+
+#ifndef PIMDSM_MEM_PLAIN_MEMORY_HH
+#define PIMDSM_MEM_PLAIN_MEMORY_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+class PlainMemory
+{
+  public:
+    PlainMemory(std::uint64_t size_bytes, const MemParams &params);
+
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+    std::uint64_t capacityLines() const
+    {
+        return sizeBytes_ / params_.lineBytes;
+    }
+
+    /** Number of line slots that live in the on-chip DRAM portion. */
+    std::uint64_t onChipLines() const { return onChipLines_; }
+
+    /**
+     * Round-trip latency to the slot at @p slot_index: slots below
+     * onChipLines() are on chip, the rest off chip. Index kInvalidAddr
+     * (or any out-of-range index) is charged the off-chip latency.
+     */
+    Tick accessLatency(std::uint64_t slot_index) const;
+
+    /** Latency for an access with no particular slot (e.g. NUMA home). */
+    Tick
+    accessLatency() const
+    {
+        return accessLatency(0);
+    }
+
+    /** Memory-port occupancy for moving one line. */
+    Tick
+    transferOccupancy() const
+    {
+        return ceilDiv(static_cast<std::uint64_t>(params_.lineBytes),
+                       static_cast<std::uint64_t>(
+                           params_.bandwidthBytesPerTick));
+    }
+
+    Resource &port() { return port_; }
+
+  private:
+    std::uint64_t sizeBytes_;
+    MemParams params_;
+    std::uint64_t onChipLines_;
+    Resource port_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_MEM_PLAIN_MEMORY_HH

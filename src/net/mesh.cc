@@ -1,0 +1,147 @@
+#include "net/mesh.hh"
+
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+Mesh::Mesh(EventQueue &eq, const NetParams &params, int num_nodes)
+    : eq_(eq), params_(params), numNodes_(num_nodes)
+{
+    if (params_.meshX <= 0 || params_.meshY <= 0)
+        fatal("mesh dimensions must be positive");
+    if (num_nodes > params_.meshX * params_.meshY)
+        fatal("more nodes than mesh routers");
+    links_.resize(static_cast<std::size_t>(params_.meshX) *
+                  params_.meshY * 4);
+}
+
+Resource &
+Mesh::link(int x, int y, int dir)
+{
+    const std::size_t idx =
+        (static_cast<std::size_t>(y) * params_.meshX + x) * 4 + dir;
+    return links_[idx];
+}
+
+Tick
+Mesh::serTicks(int payload_bytes) const
+{
+    const std::uint64_t bytes =
+        static_cast<std::uint64_t>(payload_bytes) + params_.headerBytes;
+    return ceilDiv(bytes,
+                   static_cast<std::uint64_t>(params_.linkBytesPerTick));
+}
+
+void
+Mesh::setPlacement(const std::vector<int> &slot_to_node)
+{
+    if (static_cast<int>(slot_to_node.size()) < numNodes_)
+        fatal("placement must cover every node");
+    nodeToSlot_.assign(numNodes_, -1);
+    for (std::size_t slot = 0; slot < slot_to_node.size(); ++slot) {
+        const int node = slot_to_node[slot];
+        if (node >= 0 && node < numNodes_)
+            nodeToSlot_[node] = static_cast<int>(slot);
+    }
+    for (int n = 0; n < numNodes_; ++n) {
+        if (nodeToSlot_[n] < 0)
+            fatal("placement leaves a node without a mesh slot");
+    }
+}
+
+int
+Mesh::hops(NodeId src, NodeId dst) const
+{
+    return std::abs(nodeX(src) - nodeX(dst)) +
+           std::abs(nodeY(src) - nodeY(dst));
+}
+
+void
+Mesh::walkPath(NodeId src, NodeId dst,
+               const std::function<void(int, int, int)> &per_hop) const
+{
+    int x = nodeX(src);
+    int y = nodeY(src);
+    const int dx = nodeX(dst);
+    const int dy = nodeY(dst);
+    while (x != dx) {
+        const int dir = dx > x ? 0 : 1; // E : W
+        per_hop(x, y, dir);
+        x += dx > x ? 1 : -1;
+    }
+    while (y != dy) {
+        const int dir = dy > y ? 2 : 3; // N : S
+        per_hop(x, y, dir);
+        y += dy > y ? 1 : -1;
+    }
+}
+
+Tick
+Mesh::unloadedLatency(NodeId src, NodeId dst, int payload_bytes) const
+{
+    const Tick ser = serTicks(payload_bytes);
+    if (src == dst)
+        return 2 * params_.niLatency + ser;
+    const Tick per_hop = params_.routerLatency + params_.wireLatency;
+    return 2 * params_.niLatency +
+           static_cast<Tick>(hops(src, dst)) * per_hop + ser;
+}
+
+Tick
+Mesh::averageUnloadedLatency(int payload_bytes) const
+{
+    Tick sum = 0;
+    std::uint64_t pairs = 0;
+    for (NodeId s = 0; s < numNodes_; ++s) {
+        for (NodeId d = 0; d < numNodes_; ++d) {
+            if (s == d)
+                continue;
+            sum += unloadedLatency(s, d, payload_bytes);
+            ++pairs;
+        }
+    }
+    return pairs ? sum / pairs : 0;
+}
+
+Tick
+Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver)
+{
+    if (src < 0 || src >= numNodes_ || dst < 0 || dst >= numNodes_)
+        panic("mesh send with out-of-range node id");
+
+    const Tick now = eq_.curTick();
+    const Tick ser = serTicks(payload_bytes);
+    const Tick per_hop = params_.routerLatency + params_.wireLatency;
+
+    // Head-flit time advances hop by hop; each link is reserved for the
+    // full serialization time starting when the head can enter it.
+    Tick head = now + params_.niLatency;
+    walkPath(src, dst, [&](int x, int y, int dir) {
+        const Tick start = link(x, y, dir).acquire(head, ser);
+        head = start + per_hop;
+    });
+
+    const Tick arrival = head + ser + params_.niLatency;
+
+    ++messagesSent_;
+    bytesSent_ += static_cast<std::uint64_t>(payload_bytes) +
+                  params_.headerBytes;
+    totalLatency_ += arrival - now;
+
+    eq_.schedule(arrival, std::move(deliver));
+    return arrival;
+}
+
+Tick
+Mesh::totalLinkBusy() const
+{
+    Tick t = 0;
+    for (const auto &l : links_)
+        t += l.busyTicks();
+    return t;
+}
+
+} // namespace pimdsm

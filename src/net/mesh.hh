@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Wormhole-routed 2D mesh interconnect (Section 3).
+ *
+ * Dimension-ordered (XY) routing. A message of B bytes serializes over
+ * each directed link for ceil((header+B)/linkWidth) cycles; the head
+ * flit pays router+wire latency per hop; network-interface inject/eject
+ * latency is paid at both ends. Contention is modeled by treating every
+ * directed link as a serially-occupied resource along the path, in path
+ * order — the standard link-occupancy approximation of wormhole flow
+ * control.
+ */
+
+#ifndef PIMDSM_NET_MESH_HH
+#define PIMDSM_NET_MESH_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+class Mesh
+{
+  public:
+    /** Invoked at the destination when the message tail arrives. */
+    using DeliverFn = std::function<void()>;
+
+    Mesh(EventQueue &eq, const NetParams &params, int num_nodes);
+
+    int numNodes() const { return numNodes_; }
+
+    /** Manhattan hop count between two nodes. */
+    int hops(NodeId src, NodeId dst) const;
+
+    /**
+     * Send @p payload_bytes from @p src to @p dst; @p deliver runs when
+     * the tail arrives. Self-sends pay only the NI latencies.
+     * @return the scheduled arrival tick.
+     */
+    Tick send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver);
+
+    /** Contention-free end-to-end latency (for calibration/tests). */
+    Tick unloadedLatency(NodeId src, NodeId dst, int payload_bytes) const;
+
+    /** Average unloaded latency over all distinct node pairs. */
+    Tick averageUnloadedLatency(int payload_bytes) const;
+
+    std::uint64_t messagesSent() const { return messagesSent_; }
+    std::uint64_t bytesSent() const { return bytesSent_; }
+    Tick totalLatency() const { return totalLatency_; }
+
+    /** Aggregate busy ticks over all links (network load metric). */
+    Tick totalLinkBusy() const;
+
+    const NetParams &params() const { return params_; }
+
+    /**
+     * Physical placement: @p slot_to_node[s] is the node id sitting at
+     * mesh slot s (row-major). Default is the identity. The machine
+     * uses this to interleave D-nodes among P-nodes.
+     */
+    void setPlacement(const std::vector<int> &slot_to_node);
+
+  private:
+    /** Directed link leaving router (x, y) toward @p dir (0=E,1=W,2=N,3=S). */
+    Resource &link(int x, int y, int dir);
+
+    /** Serialization ticks for a message of @p payload_bytes. */
+    Tick serTicks(int payload_bytes) const;
+
+    /** Mesh slot of node @p n (after placement permutation). */
+    int
+    slotOf(NodeId n) const
+    {
+        return nodeToSlot_.empty() ? static_cast<int>(n)
+                                   : nodeToSlot_[n];
+    }
+
+    int nodeX(NodeId n) const { return slotOf(n) % params_.meshX; }
+    int nodeY(NodeId n) const { return slotOf(n) / params_.meshX; }
+
+    /**
+     * Walk the XY path from src to dst, invoking @p per_hop for each
+     * directed link as (x, y, dir) of the link's source router.
+     */
+    void walkPath(NodeId src, NodeId dst,
+                  const std::function<void(int, int, int)> &per_hop) const;
+
+    EventQueue &eq_;
+    NetParams params_;
+    int numNodes_;
+    std::vector<int> nodeToSlot_;
+    std::vector<Resource> links_;
+    std::uint64_t messagesSent_ = 0;
+    std::uint64_t bytesSent_ = 0;
+    Tick totalLatency_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_NET_MESH_HH

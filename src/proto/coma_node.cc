@@ -1,0 +1,250 @@
+#include "proto/coma_node.hh"
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+ComaHome::ComaHome(ProtoContext &ctx, NodeId self, int num_nodes)
+    : HomeBase(ctx, self), numNodes_(num_nodes),
+      maxProviderTries_(num_nodes < 6 ? num_nodes : 6),
+      rng_(ctx.config().seed * 7919 + self)
+{
+}
+
+void
+ComaHome::initEntry(Addr, DirEntry &e)
+{
+    e.homeHasData = false;
+    e.localPtr = kNilPtr;
+}
+
+bool
+ComaHome::hasData(Addr line, const DirEntry &e) const
+{
+    // The home keeps no backing memory, but the home *node's* own
+    // attraction memory may cache the line, allowing a 2-hop reply.
+    return e.isSharer(self_) && am_ &&
+           cohValid(am_->peekState(line));
+}
+
+Tick
+ComaHome::dataAccessLatency(DirEntry &)
+{
+    return ctx_.config().mem.onChipLatency;
+}
+
+Tick
+ComaHome::absorbData(Addr, DirEntry &, Version)
+{
+    panic("COMA homes never absorb data");
+}
+
+void
+ComaHome::releaseData(Addr, DirEntry &)
+{
+    // Nothing to free: the attraction-memory copy is invalidated by
+    // the regular invalidation sent to this node's compute side.
+}
+
+void
+ComaHome::serveColdRead(Addr line, DirEntry &e, const Message &req,
+                        Tick when)
+{
+    // Flat COMA: a cold (or disk-overflowed) line materializes as a
+    // master copy at the requester's attraction memory.
+    if (e.pagedOut) {
+        when += ctx_.config().dnode.diskLatency;
+        e.pagedOut = false;
+        ctx_.stats().add("coma.disk_restore");
+    }
+    Message r;
+    r.type = MsgType::ReadReply;
+    r.dst = req.src;
+    r.lineAddr = line;
+    r.version = e.version;
+    r.legs = req.legs + 1;
+    r.grantsMaster = true;
+    e.masterOut = true;
+    e.owner = req.src;
+    e.state = DirEntry::State::Shared;
+    e.addSharer(req.src);
+    e.busy = false; // no third party involved
+    sendAt(when, r);
+}
+
+void
+ComaHome::handleWriteBack(const Message &msg)
+{
+    ++writeBacks_;
+    const Addr line = msg.lineAddr;
+    DirEntry &e = entryFor(line);
+
+    const Tick now = ctx_.eq().curTick();
+    const Tick start =
+        engine_.acquire(now, scaled(costs().writeBackOccupancy));
+    const Tick when =
+        start + handlerLatency(msg, costs().writeBackLatency);
+
+    // Same attribution rules as HomeBase::handleWriteBack (see the
+    // comment there about the eviction/upgrade race).
+    const bool from_owner = e.state == DirEntry::State::Dirty &&
+                            e.owner == msg.src && !msg.masterClean;
+    const bool from_master = e.state == DirEntry::State::Shared &&
+                             e.masterOut && e.owner == msg.src;
+
+    // The evictor may proceed regardless; the home now safeguards the
+    // last copy.
+    Message ack;
+    ack.type = MsgType::WriteBackAck;
+    ack.dst = msg.src;
+    ack.lineAddr = line;
+    sendAt(when, ack);
+
+    if (!from_owner && !from_master) {
+        ++staleWriteBacks_;
+        e.dropSharer(msg.src);
+        return;
+    }
+
+    e.dropSharer(msg.src);
+    e.owner = kInvalidNode;
+    e.masterOut = false;
+    e.state = e.sharers != 0 ? DirEntry::State::Shared
+                             : DirEntry::State::Uncached;
+
+    PendingInject pi;
+    pi.version = msg.version;
+    pi.masterClean = from_master;
+    pi.evictor = msg.src;
+    if (from_master && e.sharers != 0) {
+        // Cheaper than injection: hand mastership to a current sharer.
+        for (NodeId n = 0; n < 64; ++n) {
+            if (e.isSharer(n))
+                pi.grantCandidates.push_back(n);
+        }
+        pi.grantMode = true;
+    }
+
+    ++injections_;
+    e.busy = true;
+    auto [it, inserted] = pendingInjects_.emplace(line, std::move(pi));
+    if (!inserted)
+        panic("second injection started for a line");
+    stepInjection(line, it->second);
+}
+
+NodeId
+ComaHome::pickProvider(const PendingInject &pi)
+{
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        const NodeId p = static_cast<NodeId>(
+            rng_.nextBounded(static_cast<std::uint64_t>(numNodes_)));
+        if (p != pi.evictor && p != pi.lastTried)
+            return p;
+    }
+    return pi.evictor == 0 && numNodes_ > 1 ? 1 : 0;
+}
+
+void
+ComaHome::stepInjection(Addr line, PendingInject &pi)
+{
+    const Tick now = ctx_.eq().curTick();
+
+    if (pi.grantMode && !pi.grantCandidates.empty()) {
+        const NodeId c = pi.grantCandidates.back();
+        pi.grantCandidates.pop_back();
+        pi.lastTried = c;
+        Message g;
+        g.type = MsgType::MasterGrant;
+        g.dst = c;
+        g.lineAddr = line;
+        g.version = pi.version;
+        sendAt(now, g);
+        return;
+    }
+    pi.grantMode = false;
+
+    if (pi.providerTries >= maxProviderTries_) {
+        // Nobody could take the line: overflow to disk.
+        ++diskOverflows_;
+        ctx_.stats().add("coma.disk_overflow");
+        DirEntry &e = entryFor(line);
+        e.pagedOut = true;
+        e.version = pi.version;
+        pendingInjects_.erase(line);
+        finishTxn(line);
+        return;
+    }
+
+    const NodeId p = pickProvider(pi);
+    ++pi.providerTries;
+    pi.lastTried = p;
+    ++injectionHops_;
+    ctx_.stats().add("coma.injection_hop");
+
+    Message inj;
+    inj.type = MsgType::Inject;
+    inj.dst = p;
+    inj.lineAddr = line;
+    inj.version = pi.version;
+    inj.masterClean = pi.masterClean;
+    sendAt(now, inj);
+}
+
+void
+ComaHome::handleInjectResponse(const Message &msg)
+{
+    auto it = pendingInjects_.find(msg.lineAddr);
+    if (it == pendingInjects_.end())
+        panic("injection response with no pending injection: " +
+              msg.toString());
+    PendingInject &pi = it->second;
+    DirEntry &e = entryFor(msg.lineAddr);
+
+    engine_.acquire(ctx_.eq().curTick(), scaled(costs().ackOccupancy));
+
+    if (msg.type == MsgType::InjectAck) {
+        if (pi.masterClean) {
+            e.state = DirEntry::State::Shared;
+            e.masterOut = true;
+            e.owner = msg.src;
+            e.addSharer(msg.src);
+            if (pi.grantMode)
+                ++masterTransfers_;
+        } else {
+            e.state = DirEntry::State::Dirty;
+            e.owner = msg.src;
+            e.sharers = 0;
+        }
+        const Addr line = msg.lineAddr;
+        pendingInjects_.erase(it);
+        finishTxn(line);
+        return;
+    }
+
+    // Nack.
+    if (pi.grantMode) {
+        // The candidate silently dropped its copy: a stale sharer bit.
+        e.dropSharer(msg.src);
+        if (e.sharers == 0 && e.state == DirEntry::State::Shared)
+            e.state = DirEntry::State::Uncached;
+    }
+    stepInjection(msg.lineAddr, pi);
+}
+
+double
+ComaHome::costFactor() const
+{
+    return ctx_.config().handlers.hardwareFactor;
+}
+
+Tick
+ComaHome::handlerLatency(const Message &req, Tick base) const
+{
+    if (req.src == self_)
+        return 0;
+    return scaled(base);
+}
+
+} // namespace pimdsm

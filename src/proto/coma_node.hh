@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Flat COMA home: a directory with no backing memory. Data lives only
+ * in attraction memories; every line has a master (last) copy that may
+ * not be dropped. A displaced master line is injected into a provider
+ * node using Joe and Hennessy's method (Section 3); if no provider
+ * accepts, the line overflows to disk.
+ */
+
+#ifndef PIMDSM_PROTO_COMA_NODE_HH
+#define PIMDSM_PROTO_COMA_NODE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "proto/agg_pnode.hh"
+#include "proto/home_base.hh"
+#include "sim/random.hh"
+
+namespace pimdsm
+{
+
+class ComaHome : public HomeBase
+{
+  public:
+    /** @param num_nodes compute nodes available as injection providers. */
+    ComaHome(ProtoContext &ctx, NodeId self, int num_nodes);
+
+    /** Co-located attraction memory; lets the home serve 2-hop reads
+     *  when its own node caches the line. */
+    void setLocalCompute(const CachedMemCompute *am) { am_ = am; }
+
+    std::uint64_t injectionsStarted() const { return injections_; }
+    std::uint64_t injectionHops() const { return injectionHops_; }
+    std::uint64_t diskOverflows() const { return diskOverflows_; }
+    std::uint64_t masterTransfers() const { return masterTransfers_; }
+
+  protected:
+    void initEntry(Addr line, DirEntry &e) override;
+    bool hasData(Addr line, const DirEntry &e) const override;
+    Tick dataAccessLatency(DirEntry &e) override;
+    Tick absorbData(Addr line, DirEntry &e, Version v) override;
+    void releaseData(Addr line, DirEntry &e) override;
+    bool backsLines() const override { return false; }
+    void serveColdRead(Addr line, DirEntry &e, const Message &req,
+                       Tick when) override;
+    void handleWriteBack(const Message &msg) override;
+    void handleInjectResponse(const Message &msg) override;
+    double costFactor() const override;
+    Tick handlerLatency(const Message &req, Tick base) const override;
+
+  private:
+    struct PendingInject
+    {
+        Version version = 0;
+        bool masterClean = false;
+        /** Grant mode: remaining sharer candidates for MasterGrant. */
+        std::vector<NodeId> grantCandidates;
+        bool grantMode = false;
+        /** Providers already tried in injection mode. */
+        int providerTries = 0;
+        NodeId lastTried = kInvalidNode;
+        NodeId evictor = kInvalidNode;
+    };
+
+    /** Advance the pending injection for @p line one step. */
+    void stepInjection(Addr line, PendingInject &pi);
+
+    NodeId pickProvider(const PendingInject &pi);
+
+    const CachedMemCompute *am_ = nullptr;
+    int numNodes_;
+    int maxProviderTries_;
+    Rng rng_;
+    std::unordered_map<Addr, PendingInject> pendingInjects_;
+
+    std::uint64_t injections_ = 0;
+    std::uint64_t injectionHops_ = 0;
+    std::uint64_t diskOverflows_ = 0;
+    std::uint64_t masterTransfers_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_COMA_NODE_HH

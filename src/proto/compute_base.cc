@@ -1,0 +1,568 @@
+#include "proto/compute_base.hh"
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+ComputeBase::ComputeBase(ProtoContext &ctx, NodeId self)
+    : ctx_(ctx), self_(self),
+      l1_("l1", ctx.config().l1),
+      l2_("l2",
+          [&] {
+              // The L2 is modeled at memory-line granularity so that it
+              // doubles as the node coherence layer (see DESIGN.md).
+              CacheParams p = ctx.config().l2;
+              p.lineBytes = ctx.config().mem.lineBytes;
+              return p;
+          }()),
+      maxMshrs_(ctx.config().proc.maxOutstandingLoads)
+{
+}
+
+Addr
+ComputeBase::memLine(Addr addr) const
+{
+    return blockAlign(addr,
+                      static_cast<std::uint64_t>(cfg().mem.lineBytes));
+}
+
+void
+ComputeBase::complete(Tick when, ReadService svc, const CompletionFn &cb)
+{
+    ctx_.eq().schedule(when, [cb, when, svc] { cb(when, svc); });
+}
+
+void
+ComputeBase::access(Addr addr, bool is_write, CompletionFn cb)
+{
+    PendingAccess acc;
+    acc.addr = addr;
+    acc.isWrite = is_write;
+    acc.cb = std::move(cb);
+    startAccess(acc);
+}
+
+void
+ComputeBase::startAccess(const PendingAccess &acc)
+{
+    const Addr line = memLine(acc.addr);
+    const Tick issue = ctx_.eq().curTick();
+
+    // A line being written back must settle before new transactions.
+    if (wbPending_.count(line)) {
+        wbBlocked_[line].push_back(acc);
+        return;
+    }
+
+    // Coalesce with an outstanding miss on the same line.
+    auto it = mshrs_.find(line);
+    if (it != mshrs_.end()) {
+        Mshr &m = it->second;
+        if (!acc.isWrite || m.isWrite)
+            m.waiters.push_back({acc.addr, acc.cb});
+        else
+            m.deferred.push_back(acc); // write joining a read: re-issue
+        return;
+    }
+
+    const CohState st = nodeState(line);
+    const bool rights_ok = acc.isWrite ? st == CohState::Dirty
+                                       : cohValid(st);
+    if (!rights_ok) {
+        startMiss(acc, line, st);
+        return;
+    }
+
+    // Data path: the node has sufficient rights.
+    if (l1_.access(acc.addr, acc.isWrite)) {
+        if (acc.isWrite)
+            ++storesServed_;
+        else {
+            ++loadsServed_;
+            readStats_.record(ReadService::FLC, l1_.latency());
+        }
+        complete(issue + l1_.latency(), ReadService::FLC, acc.cb);
+        return;
+    }
+    if (l2_.access(acc.addr, acc.isWrite)) {
+        auto f = l1_.fill(acc.addr, acc.isWrite);
+        if (f.evictedDirty) {
+            if (CacheLine *p = l2_.array().find(f.evictedLine))
+                p->dirty = true;
+        }
+        if (acc.isWrite)
+            ++storesServed_;
+        else {
+            ++loadsServed_;
+            readStats_.record(ReadService::SLC, l2_.latency());
+        }
+        complete(issue + l2_.latency(), ReadService::SLC, acc.cb);
+        return;
+    }
+
+    // L2 miss with node rights: the tagged local memory supplies the
+    // line (never reached by NUMA, whose rights live in the L2 tags).
+    const Tick done = localDataAccess(line, issue);
+    fillL2(line, st, nodeVersion(line), false);
+    {
+        auto f = l1_.fill(acc.addr, acc.isWrite);
+        if (f.evictedDirty) {
+            if (CacheLine *p = l2_.array().find(f.evictedLine))
+                p->dirty = true;
+        }
+    }
+    if (acc.isWrite)
+        ++storesServed_;
+    else {
+        ++loadsServed_;
+        readStats_.record(ReadService::LocalMem, done - issue);
+    }
+    complete(done, ReadService::LocalMem, acc.cb);
+}
+
+void
+ComputeBase::fillL2(Addr line, CohState st, Version v, bool dirty)
+{
+    auto f = l2_.fill(line, dirty, st, v);
+    if (f.evictedLine == kInvalidAddr)
+        return;
+    const bool l1_dirty =
+        l1_.invalidateBlock(f.evictedLine, l2_.lineBytes());
+    onL2Evict(f.evictedLine, f.evictedDirty || l1_dirty, f.evictedState,
+              f.evictedVersion);
+}
+
+void
+ComputeBase::startMiss(const PendingAccess &acc, Addr line, CohState st)
+{
+    if (static_cast<int>(mshrs_.size()) >= maxMshrs_) {
+        blocked_.push_back(acc);
+        return;
+    }
+
+    const Tick now = ctx_.eq().curTick();
+    Mshr m;
+    m.line = line;
+    m.isWrite = acc.isWrite;
+    m.issueTick = now;
+    m.waiters.push_back({acc.addr, acc.cb});
+
+    MsgType t;
+    if (acc.isWrite && (st == CohState::Shared ||
+                        st == CohState::SharedMaster)) {
+        t = MsgType::UpgradeReq;
+        m.upgrade = true;
+        ++upgradesSent_;
+    } else {
+        t = acc.isWrite ? MsgType::ReadExReq : MsgType::ReadReq;
+    }
+    mshrs_.emplace(line, std::move(m));
+
+    const NodeId home = ctx_.homeOf(line, self_);
+    Message req;
+    req.type = t;
+    req.lineAddr = line;
+    req.src = self_;
+    req.dst = home;
+    req.requester = self_;
+    req.legs = home == self_ ? 0 : 1;
+
+    const Tick send_time =
+        now + l1_.latency() + l2_.latency() + missDetectLatency_;
+    ctx_.eq().schedule(send_time, [this, req] { ctx_.send(req); });
+}
+
+void
+ComputeBase::handleMessage(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::ReadReply:
+      case MsgType::ReadExReply:
+      case MsgType::UpgradeReply:
+      case MsgType::FwdReply:
+        handleReply(msg);
+        return;
+      case MsgType::InvalAck:
+        handleInvalAck(msg);
+        return;
+      case MsgType::Inval:
+        handleInval(msg);
+        return;
+      case MsgType::Fwd:
+        handleFwd(msg);
+        return;
+      case MsgType::WriteBackAck:
+        handleWriteBackAck(msg);
+        return;
+      case MsgType::Inject:
+        handleInject(msg);
+        return;
+      case MsgType::MasterGrant:
+        handleMasterGrant(msg);
+        return;
+      case MsgType::CimReply:
+        handleCimReply(msg);
+        return;
+      default:
+        panic("compute node received unexpected " + msg.toString());
+    }
+}
+
+void
+ComputeBase::handleReply(const Message &msg)
+{
+    auto it = mshrs_.find(msg.lineAddr);
+    if (it == mshrs_.end())
+        panic("reply with no MSHR: " + msg.toString());
+    Mshr &m = it->second;
+    if (m.replyArrived)
+        panic("duplicate reply: " + msg.toString());
+    m.replyArrived = true;
+    m.replyHasData = msg.type != MsgType::UpgradeReply;
+    m.acksExpected = msg.ackCount;
+    m.version = msg.version;
+    m.legs = msg.legs;
+    m.grantsMaster = msg.grantsMaster;
+    m.needsTxnDone = msg.needsTxnDone;
+    tryComplete(msg.lineAddr);
+}
+
+void
+ComputeBase::handleInvalAck(const Message &msg)
+{
+    auto it = mshrs_.find(msg.lineAddr);
+    if (it == mshrs_.end())
+        panic("inval ack with no MSHR: " + msg.toString());
+    ++it->second.acksReceived;
+    tryComplete(msg.lineAddr);
+}
+
+void
+ComputeBase::tryComplete(Addr line)
+{
+    auto it = mshrs_.find(line);
+    if (it == mshrs_.end())
+        return;
+    Mshr &m = it->second;
+    if (!m.replyArrived || m.acksExpected < 0 ||
+        m.acksReceived < m.acksExpected)
+        return;
+    finishAccess(m);
+}
+
+void
+ComputeBase::finishAccess(Mshr &m)
+{
+    const Tick now = ctx_.eq().curTick();
+    const Tick done = now + msgEngineLatency_;
+    const Addr line = m.line;
+
+    const CohState new_state =
+        m.isWrite ? CohState::Dirty
+                  : (m.grantsMaster ? CohState::SharedMaster
+                                    : CohState::Shared);
+    if (m.replyHasData) {
+        installLine(line, new_state, m.version);
+    } else if (!cohValid(nodeState(line))) {
+        // Our Shared copy was displaced while the upgrade was in
+        // flight (the home still saw us as a sharer). Reconstitute the
+        // line locally; timing-wise the grant already paid the
+        // round trip.
+        ctx_.stats().add("compute.upgrade_after_displacement");
+        installLine(line, CohState::Dirty, m.version);
+    } else {
+        setNodeState(line, CohState::Dirty, m.version);
+        // Keep the caches inclusive under the upgraded line.
+        fillL2(line, CohState::Dirty, m.version, false);
+    }
+
+    // Functional coherence check. For blocked transactions the home
+    // serializes against writes until our TxnDone, so the observed
+    // version must still be the latest. (Unblocked simple reads may
+    // legally race with a newer write whose invalidation is already
+    // on its way; the home asserts their freshness at serve time.)
+    if (!m.isWrite && m.needsTxnDone &&
+        m.version != ctx_.latestVersion(line)) {
+        panic("read completed with stale data version: node " +
+              std::to_string(self_) + " line " +
+              std::to_string(line) + " got v" +
+              std::to_string(m.version) + " latest v" +
+              std::to_string(ctx_.latestVersion(line)) + " legs " +
+              std::to_string(m.legs) + " upgrade " +
+              std::to_string(m.upgrade) + " issued@" +
+              std::to_string(m.issueTick) + " now@" +
+              std::to_string(ctx_.eq().curTick()));
+    }
+
+    ReadService svc;
+    if (m.legs <= 1)
+        svc = ReadService::LocalMem;
+    else if (m.legs == 2)
+        svc = ReadService::Hop2;
+    else
+        svc = ReadService::Hop3;
+
+    for (auto &[addr, cb] : m.waiters) {
+        auto f = l1_.fill(addr, m.isWrite);
+        if (f.evictedDirty) {
+            if (CacheLine *p = l2_.array().find(f.evictedLine))
+                p->dirty = true;
+        }
+        if (m.isWrite) {
+            ++storesServed_;
+        } else {
+            ++loadsServed_;
+            readStats_.record(svc, done - m.issueTick);
+        }
+        complete(done, svc, cb);
+    }
+
+    if (m.needsTxnDone) {
+        // Unblock the home line (forwarded / invalidating txns only).
+        const NodeId home = ctx_.homeOf(line, self_);
+        Message ack;
+        ack.type = MsgType::TxnDone;
+        ack.lineAddr = line;
+        ack.src = self_;
+        ack.dst = home;
+        ctx_.eq().schedule(done, [this, ack] { ctx_.send(ack); });
+    }
+
+    std::deque<PendingAccess> deferred = std::move(m.deferred);
+    mshrs_.erase(line);
+
+    for (const auto &acc : deferred) {
+        ctx_.eq().schedule(done, [this, acc] { startAccess(acc); });
+    }
+    drainBlocked();
+}
+
+void
+ComputeBase::handleInval(const Message &msg)
+{
+    ++invalsReceived_;
+    invalidateLocal(msg.lineAddr);
+
+    Message ack;
+    ack.type = MsgType::InvalAck;
+    ack.lineAddr = msg.lineAddr;
+    ack.src = self_;
+    ack.dst = msg.requester;
+    const Tick when = ctx_.eq().curTick() + msgEngineLatency_;
+    ctx_.eq().schedule(when, [this, ack] { ctx_.send(ack); });
+}
+
+void
+ComputeBase::handleFwd(const Message &msg)
+{
+    const Addr line = msg.lineAddr;
+    const Tick now = ctx_.eq().curTick();
+
+    const CohState st = nodeState(line);
+    const bool live = cohValid(st);
+    Version data_version = 0;
+    if (live) {
+        data_version = nodeVersion(line);
+    } else {
+        auto it = wbPending_.find(line);
+        if (it == wbPending_.end())
+            panic("forward for a line this node does not hold: " +
+                  msg.toString());
+        data_version = it->second;
+        ctx_.stats().add("compute.fwd_from_wb_buffer");
+    }
+
+    const Tick when =
+        now + msgEngineLatency_ + (live ? fwdDataLatency() : 0);
+
+    Message reply;
+    reply.type = MsgType::FwdReply;
+    reply.lineAddr = line;
+    reply.src = self_;
+    reply.dst = msg.requester;
+    reply.legs = msg.legs + 1;
+    reply.needsTxnDone = true;
+
+    if (msg.fwdKind == FwdKind::Read) {
+        if (live)
+            setNodeState(line, downgradeState(), data_version);
+        reply.version = data_version;
+        reply.ackCount = 0;
+        ctx_.eq().schedule(when, [this, reply] { ctx_.send(reply); });
+
+        if (sendsSharingWriteback()) {
+            Message sw;
+            sw.type = MsgType::OwnerToHome;
+            sw.lineAddr = line;
+            sw.src = self_;
+            sw.dst = ctx_.homeOf(line, self_);
+            sw.version = data_version;
+            ctx_.eq().schedule(when, [this, sw] { ctx_.send(sw); });
+        }
+    } else {
+        if (live)
+            invalidateLocal(line);
+        reply.version = msg.version; // the new write generation
+        reply.ackCount = msg.ackCount;
+        ctx_.eq().schedule(when, [this, reply] { ctx_.send(reply); });
+    }
+}
+
+void
+ComputeBase::handleWriteBackAck(const Message &msg)
+{
+    wbPending_.erase(msg.lineAddr);
+
+    if (flushOutstanding_ > 0) {
+        if (--flushOutstanding_ == 0 && flushDone_) {
+            auto done = std::move(flushDone_);
+            flushDone_ = nullptr;
+            done();
+        }
+    }
+
+    auto it = wbBlocked_.find(msg.lineAddr);
+    if (it != wbBlocked_.end()) {
+        std::deque<PendingAccess> waiters = std::move(it->second);
+        wbBlocked_.erase(it);
+        for (const auto &acc : waiters)
+            startAccess(acc);
+    }
+}
+
+void
+ComputeBase::emitWriteBack(Addr line, CohState st, Version v)
+{
+    ++writeBacksSent_;
+    wbPending_[line] = v;
+
+    Message wb;
+    wb.type = MsgType::WriteBack;
+    wb.lineAddr = line;
+    wb.src = self_;
+    wb.dst = ctx_.homeOf(line, self_);
+    wb.version = v;
+    wb.masterClean = st == CohState::SharedMaster;
+    ctx_.send(wb);
+}
+
+void
+ComputeBase::drainBlocked()
+{
+    while (!blocked_.empty() &&
+           static_cast<int>(mshrs_.size()) < maxMshrs_) {
+        PendingAccess acc = blocked_.front();
+        blocked_.pop_front();
+        startAccess(acc);
+    }
+}
+
+void
+ComputeBase::handleInject(const Message &msg)
+{
+    panic("this architecture does not inject lines: " + msg.toString());
+}
+
+void
+ComputeBase::handleMasterGrant(const Message &msg)
+{
+    panic("this architecture does not transfer mastership: " +
+          msg.toString());
+}
+
+void
+ComputeBase::sendCim(NodeId dnode, Addr chunk_addr,
+                     std::uint64_t record_count,
+                     std::uint64_t match_count,
+                     std::function<void(Tick)> cb)
+{
+    if (dnode == kInvalidNode)
+        dnode = ctx_.homeOf(memLine(chunk_addr), self_);
+    cimCallbacks_.push_back(std::move(cb));
+    Message req;
+    req.type = MsgType::CimReq;
+    req.lineAddr = memLine(chunk_addr);
+    req.src = self_;
+    req.dst = dnode;
+    req.requester = self_;
+    req.cimCount = record_count;
+    req.ackCount = static_cast<int>(match_count);
+    ctx_.send(req);
+}
+
+void
+ComputeBase::handleCimReply(const Message &msg)
+{
+    if (cimCallbacks_.empty())
+        panic("CIM reply with no outstanding request: " + msg.toString());
+    auto cb = std::move(cimCallbacks_.front());
+    cimCallbacks_.pop_front();
+    cb(ctx_.eq().curTick());
+}
+
+void
+ComputeBase::flushAll(std::function<void()> done)
+{
+    if (!mshrs_.empty())
+        panic("flushAll with outstanding misses");
+
+    std::vector<std::pair<Addr, Version>> owned;
+    forEachOwnedLine([&](Addr line, CohState st, Version v) {
+        if (cohOwned(st))
+            owned.emplace_back(line, v);
+    });
+
+    invalidateAllLocal();
+    l1_.invalidateAll();
+    l2_.invalidateAll();
+
+    // Also wait for writebacks that were already in flight when the
+    // flush started.
+    if (owned.empty() && wbPending_.empty()) {
+        done();
+        return;
+    }
+    flushOutstanding_ = owned.size() + wbPending_.size();
+    flushDone_ = std::move(done);
+    for (auto &[line, v] : owned) {
+        // State no longer matters for routing; report Dirty so the home
+        // absorbs the data.
+        emitWriteBack(line, CohState::Dirty, v);
+    }
+}
+
+std::vector<std::tuple<Addr, CohState, Version>>
+ComputeBase::drainForReconfig()
+{
+    if (!mshrs_.empty() || !wbPending_.empty())
+        panic("drainForReconfig on a non-quiescent node");
+    std::vector<std::tuple<Addr, CohState, Version>> lines;
+    forEachOwnedLine([&](Addr line, CohState st, Version v) {
+        lines.emplace_back(line, st, v);
+    });
+    invalidateAllLocal();
+    l1_.invalidateAll();
+    l2_.invalidateAll();
+    return lines;
+}
+
+void
+ComputeBase::checkInclusion() const
+{
+    l1_.array().forEach([&](const CacheLine &line) {
+        if (!line.valid())
+            return;
+        const Addr parent = memLine(line.lineAddr);
+        if (!l2_.array().find(parent))
+            panic("L1 line not covered by L2");
+    });
+    l2_.array().forEach([&](const CacheLine &line) {
+        if (!line.valid())
+            return;
+        if (!cohValid(nodeState(line.lineAddr)))
+            panic("L2 line without node-level rights");
+    });
+}
+
+} // namespace pimdsm

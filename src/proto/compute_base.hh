@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Shared compute-side coherence controller.
+ *
+ * Sits between the processor model and the mesh: an L1 (64 B lines) and
+ * L2 (one memory line, 128 B) in front of the node-level coherence
+ * layer, a set of MSHRs that coalesce outstanding misses, and the
+ * hardware message engine that the paper's P-nodes use to handle
+ * incoming invalidations/forwards without involving the processor.
+ *
+ * Subclasses provide the node-level storage:
+ *  - CachedMemCompute (AGG P-nodes, COMA nodes): the tagged local DRAM
+ *    organized as a cache.
+ *  - NumaCompute: rights live directly in the L2 tags; the local plain
+ *    memory only serves lines homed at this node (via the co-located
+ *    NumaHome).
+ */
+
+#ifndef PIMDSM_PROTO_COMPUTE_BASE_HH
+#define PIMDSM_PROTO_COMPUTE_BASE_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "proto/context.hh"
+#include "proto/message.hh"
+#include "sim/stats.hh"
+
+namespace pimdsm
+{
+
+class ComputeBase
+{
+  public:
+    /** Completion: tick the access finished and where it was served. */
+    using CompletionFn = std::function<void(Tick, ReadService)>;
+
+    ComputeBase(ProtoContext &ctx, NodeId self);
+    virtual ~ComputeBase() = default;
+
+    NodeId self() const { return self_; }
+
+    /**
+     * Issue a load (@p is_write false) or a store-ownership request.
+     * The callback fires exactly once, at the completion tick.
+     */
+    void access(Addr addr, bool is_write, CompletionFn cb);
+
+    /** Incoming network message (replies, invals, forwards, ...). */
+    void handleMessage(const Message &msg);
+
+    /**
+     * Offload a scan of @p record_count records to a D-node, expecting
+     * @p match_count matching record pointers back (computation in
+     * memory, Section 2.4). When @p dnode is kInvalidNode the home of
+     * @p chunk_addr is used.
+     */
+    void sendCim(NodeId dnode, Addr chunk_addr,
+                 std::uint64_t record_count, std::uint64_t match_count,
+                 std::function<void(Tick)> cb);
+
+    /**
+     * Write back every owned line and invalidate all local state
+     * (P-node -> D-node reconfiguration); @p done fires when all
+     * writebacks have been acknowledged.
+     */
+    void flushAll(std::function<void()> done);
+
+    ReadLatencyStats &readStats() { return readStats_; }
+    const ReadLatencyStats &readStats() const { return readStats_; }
+
+    Cache &l1() { return l1_; }
+    Cache &l2() { return l2_; }
+
+    std::uint64_t outstanding() const { return mshrs_.size(); }
+    std::uint64_t invalsReceived() const { return invalsReceived_; }
+    std::uint64_t writeBacksSent() const { return writeBacksSent_; }
+
+    /** Debug: L1 subset-of-L2 and L2 subset-of-node-storage checks. */
+    void checkInclusion() const;
+
+    /**
+     * Reconfiguration support: collect every node-level line and wipe
+     * all local state (the machine must be quiesced). The caller
+     * functionally writes the owned lines back to their homes.
+     */
+    std::vector<std::tuple<Addr, CohState, Version>> drainForReconfig();
+
+  protected:
+    struct PendingAccess
+    {
+        Addr addr = kInvalidAddr;
+        bool isWrite = false;
+        CompletionFn cb;
+    };
+
+    struct Mshr
+    {
+        Addr line = kInvalidAddr;
+        bool isWrite = false;
+        bool upgrade = false;     ///< sent UpgradeReq (had Shared copy)
+        Tick issueTick = 0;
+        bool replyArrived = false;
+        bool replyHasData = false;
+        int acksExpected = -1;    ///< unknown until the reply arrives
+        int acksReceived = 0;
+        Version version = 0;
+        int legs = 0;
+        bool grantsMaster = false;
+        bool needsTxnDone = false;
+        /** Original virtual addresses + callbacks coalesced here. */
+        std::vector<std::pair<Addr, CompletionFn>> waiters;
+        /** Accesses re-issued after completion (write joining a read). */
+        std::deque<PendingAccess> deferred;
+    };
+
+    // ------------------------------------------------------------------
+    // Node-level storage hooks.
+    // ------------------------------------------------------------------
+
+    /** Coherence state this node holds for @p line. */
+    virtual CohState nodeState(Addr line) const = 0;
+
+    /** Version of the node's copy (panics if absent). */
+    virtual Version nodeVersion(Addr line) const = 0;
+
+    /**
+     * L2 missed but the node has rights: fetch from node storage.
+     * Returns the completion tick. Never called for NUMA (rights==L2).
+     */
+    virtual Tick localDataAccess(Addr line, Tick issue) = 0;
+
+    /**
+     * Install a line granted by the protocol (may displace a victim,
+     * emitting WriteBack messages).
+     */
+    virtual void installLine(Addr line, CohState st, Version v) = 0;
+
+    /** Upgrade an existing Shared/SharedMaster copy to @p st. */
+    virtual void setNodeState(Addr line, CohState st, Version v) = 0;
+
+    /** Drop the line from node storage + caches; returns prior state. */
+    virtual CohState invalidateLocal(Addr line) = 0;
+
+    /** Send OwnerToHome sharing writebacks on Fwd-Read (COMA: no). */
+    virtual bool sendsSharingWriteback() const { return true; }
+
+    /** Downgrade target on Fwd-Read (NUMA: Shared; AGG/COMA: master). */
+    virtual CohState downgradeState() const
+    {
+        return CohState::SharedMaster;
+    }
+
+    /** Victim displaced from the L2 (dirty data must be preserved). */
+    virtual void onL2Evict(Addr line, bool dirty, CohState st,
+                           Version v) = 0;
+
+    /** Latency to read the line out of node storage for a forward. */
+    virtual Tick fwdDataLatency() const = 0;
+
+    /** COMA injection arriving at this node; others panic. */
+    virtual void handleInject(const Message &msg);
+
+    /** COMA mastership transfer; others panic. */
+    virtual void handleMasterGrant(const Message &msg);
+
+    /** Iterate owned lines for flushAll. */
+    virtual void forEachOwnedLine(
+        const std::function<void(Addr, CohState, Version)> &fn) = 0;
+
+    /** Clear all node storage (after flush). */
+    virtual void invalidateAllLocal() = 0;
+
+    // ------------------------------------------------------------------
+    // Shared machinery.
+    // ------------------------------------------------------------------
+
+    Addr memLine(Addr addr) const;
+    const MachineConfig &cfg() const { return ctx_.config(); }
+
+    /** Try to start @p acc; queues it if resources are busy. */
+    void startAccess(const PendingAccess &acc);
+
+    /** A miss: create/join an MSHR and send the request. */
+    void startMiss(const PendingAccess &acc, Addr line, CohState st);
+
+    /** Fill the L2 and dispose of its victim. */
+    void fillL2(Addr line, CohState st, Version v, bool dirty);
+
+    void handleReply(const Message &msg);
+    void handleInvalAck(const Message &msg);
+    void handleInval(const Message &msg);
+    void handleFwd(const Message &msg);
+    void handleWriteBackAck(const Message &msg);
+    void handleCimReply(const Message &msg);
+
+    void tryComplete(Addr line);
+    void finishAccess(Mshr &m);
+
+    /** Emit a WriteBack for an owned displaced line. */
+    void emitWriteBack(Addr line, CohState st, Version v);
+
+    /** Retry accesses blocked on a full MSHR file or pending WB. */
+    void drainBlocked();
+
+    /** Schedule @p cb at @p when with service class @p svc. */
+    void complete(Tick when, ReadService svc, const CompletionFn &cb);
+
+    ProtoContext &ctx_;
+    NodeId self_;
+    Cache l1_;
+    Cache l2_;
+
+    std::unordered_map<Addr, Mshr> mshrs_;
+    std::deque<PendingAccess> blocked_;
+    /** Displaced owned lines awaiting WriteBackAck. */
+    std::unordered_map<Addr, Version> wbPending_;
+    /** Accesses waiting for a WriteBackAck on their line. */
+    std::unordered_map<Addr, std::deque<PendingAccess>> wbBlocked_;
+
+    int maxMshrs_ = 16;
+    /** Fixed cost of detecting a node-level miss (tag check). */
+    Tick missDetectLatency_ = 10;
+    /** Cost of the hardware message engine handling one message. */
+    Tick msgEngineLatency_ = 10;
+
+    ReadLatencyStats readStats_;
+    std::uint64_t invalsReceived_ = 0;
+    std::uint64_t writeBacksSent_ = 0;
+    std::uint64_t upgradesSent_ = 0;
+    std::uint64_t loadsServed_ = 0;
+    std::uint64_t storesServed_ = 0;
+
+    /** Outstanding CIM request callback (one at a time per node). */
+    std::deque<std::function<void(Tick)>> cimCallbacks_;
+
+    /** Pending flush completion. */
+    std::function<void()> flushDone_;
+    std::uint64_t flushOutstanding_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_COMPUTE_BASE_HH

@@ -1,0 +1,35 @@
+#include "proto/directory.hh"
+
+namespace pimdsm
+{
+
+const DirEntry *
+DirectoryTable::find(Addr line) const
+{
+    auto it = entries_.find(line);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+DirEntry *
+DirectoryTable::find(Addr line)
+{
+    auto it = entries_.find(line);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+DirectoryTable::forEach(
+    const std::function<void(Addr, const DirEntry &)> &fn) const
+{
+    for (const auto &[addr, e] : entries_)
+        fn(addr, e);
+}
+
+void
+DirectoryTable::forEach(const std::function<void(Addr, DirEntry &)> &fn)
+{
+    for (auto &[addr, e] : entries_)
+        fn(addr, e);
+}
+
+} // namespace pimdsm

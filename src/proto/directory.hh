@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Home directory state: one entry per memory line whose home is this
+ * node, plus the blocked-home transaction queue.
+ */
+
+#ifndef PIMDSM_PROTO_DIRECTORY_HH
+#define PIMDSM_PROTO_DIRECTORY_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+
+#include "proto/message.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+/** Nil value for a D-node Directory entry's Local Pointer. */
+constexpr std::uint32_t kNilPtr = 0xffffffffu;
+
+struct DirEntry
+{
+    /** Stable directory states. */
+    enum class State : std::uint8_t
+    {
+        Uncached, ///< no P-node copy (home may or may not hold data)
+        Shared,   ///< >=1 read-only copies in compute nodes
+        Dirty,    ///< exactly one modified copy, at owner
+    };
+
+    State state = State::Uncached;
+    /** Bit per node holding (possibly stale) a shared copy. */
+    std::uint64_t sharers = 0;
+    /** Dirty owner, or the shared-master holder when masterOut. */
+    NodeId owner = kInvalidNode;
+    /** A compute node holds mastership of this Shared line. */
+    bool masterOut = false;
+    /** Home storage holds an up-to-date copy. */
+    bool homeHasData = false;
+    /** AGG: index into the D-node Data array (kNilPtr if none). */
+    std::uint32_t localPtr = kNilPtr;
+    /** AGG: the home copy was paged out to disk. */
+    bool pagedOut = false;
+    /** Version of the home copy (when homeHasData/pagedOut). */
+    Version version = 0;
+    /** Limited-pointer overflow: sharer set is imprecise and writes
+     *  must broadcast invalidations (Section 2.2.2's 3-pointer
+     *  limited-vector scheme). */
+    bool ptrOverflow = false;
+    /** A transaction is in flight; new requests queue. */
+    bool busy = false;
+    /** Requests blocked on busy. */
+    std::deque<Message> pending;
+
+    bool
+    isSharer(NodeId n) const
+    {
+        return (sharers >> n) & 1;
+    }
+
+    void addSharer(NodeId n) { sharers |= 1ull << n; }
+
+    /**
+     * Add a sharer under a limited-pointer budget: once more than
+     * @p max_ptrs distinct sharers exist, the entry overflows and
+     * stops tracking precisely. @p max_ptrs <= 0 means full map.
+     */
+    void
+    addSharerLimited(NodeId n, int max_ptrs)
+    {
+        if (max_ptrs > 0 && !isSharer(n) &&
+            sharerCount() >= max_ptrs) {
+            ptrOverflow = true;
+            return;
+        }
+        addSharer(n);
+    }
+    void dropSharer(NodeId n) { sharers &= ~(1ull << n); }
+
+    int sharerCount() const { return __builtin_popcountll(sharers); }
+};
+
+/**
+ * All directory entries homed at one node. Entries are created lazily
+ * when the first request for a line arrives (the OS maps the page and
+ * reserves Directory array entries at that point).
+ */
+class DirectoryTable
+{
+  public:
+    /** Entry for @p line, created Uncached on first use. */
+    DirEntry &entry(Addr line) { return entries_[line]; }
+
+    /** Entry if it exists, else nullptr. */
+    const DirEntry *find(Addr line) const;
+    DirEntry *find(Addr line);
+
+    std::size_t size() const { return entries_.size(); }
+
+    void forEach(
+        const std::function<void(Addr, const DirEntry &)> &fn) const;
+    void forEach(const std::function<void(Addr, DirEntry &)> &fn);
+
+    /** Drop every entry (reconfiguration: pages unmapped). */
+    void clear() { entries_.clear(); }
+
+    /** Remove one entry (page migration). */
+    void erase(Addr line) { entries_.erase(line); }
+
+  private:
+    std::unordered_map<Addr, DirEntry> entries_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_DIRECTORY_HH

@@ -1,0 +1,594 @@
+#include "proto/home_base.hh"
+
+#include <cmath>
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+HomeBase::HomeBase(ProtoContext &ctx, NodeId self) : ctx_(ctx), self_(self)
+{
+}
+
+Tick
+HomeBase::scaled(Tick t) const
+{
+    return static_cast<Tick>(std::llround(t * costFactor()));
+}
+
+Tick
+HomeBase::handlerLatency(const Message &, Tick base) const
+{
+    return scaled(base);
+}
+
+void
+HomeBase::sendAt(Tick when, Message msg)
+{
+    // Messages must enter the mesh in the order the home committed
+    // their state transitions: the immediate-unblock optimization
+    // relies on a later transaction's Inval/Fwd never overtaking an
+    // earlier reply to the same node. The mesh preserves per-pair
+    // order, so monotonic egress suffices.
+    if (when < egressClock_)
+        when = egressClock_;
+    egressClock_ = when;
+    msg.src = self_;
+    ctx_.eq().schedule(when, [this, msg] { ctx_.send(msg); });
+}
+
+DirEntry &
+HomeBase::entryFor(Addr line)
+{
+    DirEntry *existing = dir_.find(line);
+    if (existing)
+        return *existing;
+    DirEntry &e = dir_.entry(line);
+    initEntry(line, e);
+    return e;
+}
+
+void
+HomeBase::updateLinkage(Addr, DirEntry &)
+{
+}
+
+Tick
+HomeBase::pageIn(Addr, DirEntry &e)
+{
+    e.pagedOut = false;
+    return 0;
+}
+
+bool
+HomeBase::wantsSharingData(Addr line, const DirEntry &e) const
+{
+    return backsLines() && !hasData(line, e);
+}
+
+void
+HomeBase::handleMessage(const Message &msg)
+{
+    const Tick when = ctx_.eq().curTick() + detectDelay();
+    Message copy = msg;
+    ctx_.eq().schedule(when, [this, copy] {
+        switch (copy.type) {
+          case MsgType::ReadReq:
+          case MsgType::ReadExReq:
+          case MsgType::UpgradeReq:
+          case MsgType::WriteBack:
+            {
+                DirEntry &e = entryFor(copy.lineAddr);
+                if (e.busy) {
+                    e.pending.push_back(copy);
+                    ctx_.stats().add("home.blocked_requests");
+                    return;
+                }
+                serveRequest(copy);
+                return;
+            }
+          case MsgType::TxnDone:
+            handleTxnDone(copy);
+            return;
+          case MsgType::OwnerToHome:
+            handleOwnerToHome(copy);
+            return;
+          case MsgType::InjectAck:
+          case MsgType::InjectNack:
+            handleInjectResponse(copy);
+            return;
+          case MsgType::CimReq:
+            handleCimReq(copy);
+            return;
+          default:
+            panic("home received unexpected message " + copy.toString());
+        }
+    });
+}
+
+void
+HomeBase::serveRequest(const Message &msg)
+{
+    DirEntry &e = entryFor(msg.lineAddr);
+    switch (msg.type) {
+      case MsgType::ReadReq:
+        serveRead(msg.lineAddr, e, msg);
+        break;
+      case MsgType::ReadExReq:
+      case MsgType::UpgradeReq:
+        serveWrite(msg.lineAddr, e, msg);
+        break;
+      case MsgType::WriteBack:
+        handleWriteBack(msg);
+        break;
+      default:
+        panic("serveRequest: bad type " + msg.toString());
+    }
+}
+
+void
+HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
+{
+    ++reads_;
+    e.busy = true;
+
+    const Tick now = ctx_.eq().curTick();
+    const Tick start = engine_.acquire(now, scaled(costs().readOccupancy));
+    Tick when = start + handlerLatency(req, costs().readLatency);
+
+    if (e.state == DirEntry::State::Dirty) {
+        // 3-hop: the owner supplies the data and keeps mastership as a
+        // SharedMaster copy (no home slot is consumed now; the owner's
+        // sharing writeback may restore one).
+        ++forwards_;
+        Message f;
+        f.type = MsgType::Fwd;
+        f.fwdKind = FwdKind::Read;
+        f.dst = e.owner;
+        f.requester = req.src;
+        f.lineAddr = line;
+        f.legs = req.legs + 1;
+        sendAt(when, f);
+
+        e.state = DirEntry::State::Shared;
+        e.sharers = 0;
+        e.ptrOverflow = false;
+        e.addSharer(e.owner);
+        e.addSharerLimited(req.src, ctx_.config().directoryPointers);
+        if (grantsMasterOnRead()) {
+            // The old owner keeps mastership as a SharedMaster copy.
+            e.masterOut = true;
+        } else {
+            // NUMA: the owner downgrades to a plain sharer and the
+            // sharing writeback restores the home memory.
+            e.masterOut = false;
+            e.owner = kInvalidNode;
+        }
+        updateLinkage(line, e);
+        return;
+    }
+
+    if (e.pagedOut)
+        when += pageIn(line, e);
+
+    if (hasData(line, e)) {
+        // Functional freshness assertion at the serialization point.
+        if (e.version != ctx_.latestVersion(line))
+            panic("home serving a stale copy");
+        when += dataAccessLatency(e);
+        Message r;
+        r.type = MsgType::ReadReply;
+        r.dst = req.src;
+        r.lineAddr = line;
+        r.version = e.version;
+        r.legs = req.legs + 1;
+        if (grantsMasterOnRead() && !e.masterOut) {
+            r.grantsMaster = true;
+            e.masterOut = true;
+            e.owner = req.src;
+        }
+        e.state = DirEntry::State::Shared;
+        e.addSharerLimited(req.src, ctx_.config().directoryPointers);
+        updateLinkage(line, e);
+        // No third party involved: the line unblocks right away (the
+        // mesh delivers our later messages to the requester after
+        // this reply).
+        e.busy = false;
+        sendAt(when, r);
+        return;
+    }
+
+    if (e.masterOut) {
+        // Home dropped its copy; 3-hop via the master (the paper's
+        // motivation for discouraging SharedList reuse).
+        ++forwards_;
+        ctx_.stats().add("home.read_via_master");
+        Message f;
+        f.type = MsgType::Fwd;
+        f.fwdKind = FwdKind::Read;
+        f.dst = e.owner;
+        f.requester = req.src;
+        f.lineAddr = line;
+        f.legs = req.legs + 1;
+        sendAt(when, f);
+        e.state = DirEntry::State::Shared;
+        e.addSharerLimited(req.src, ctx_.config().directoryPointers);
+        updateLinkage(line, e);
+        return;
+    }
+
+    serveColdRead(line, e, req, when);
+}
+
+void
+HomeBase::serveColdRead(Addr line, DirEntry &e, const Message &req,
+                        Tick when)
+{
+    // Zero-fill the line into home storage, then serve it like a
+    // regular home hit.
+    when += absorbData(line, e, e.version);
+    when += dataAccessLatency(e);
+
+    Message r;
+    r.type = MsgType::ReadReply;
+    r.dst = req.src;
+    r.lineAddr = line;
+    r.version = e.version;
+    r.legs = req.legs + 1;
+    if (grantsMasterOnRead()) {
+        r.grantsMaster = true;
+        e.masterOut = true;
+        e.owner = req.src;
+    }
+    e.state = DirEntry::State::Shared;
+    e.addSharerLimited(req.src, ctx_.config().directoryPointers);
+    updateLinkage(line, e);
+    e.busy = false; // no third party involved
+    sendAt(when, r);
+}
+
+void
+HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
+{
+    ++writes_;
+    e.busy = true;
+
+    const NodeId requester = req.src;
+    const Version vnew = ctx_.bumpVersion(line);
+    const Tick now = ctx_.eq().curTick();
+
+    if (e.state == DirEntry::State::Dirty) {
+        if (e.owner == requester)
+            panic("write request from current dirty owner");
+        const Tick start =
+            engine_.acquire(now, scaled(costs().readExOccupancy));
+        const Tick when = start + handlerLatency(req, costs().readExLatency);
+        ++forwards_;
+        Message f;
+        f.type = MsgType::Fwd;
+        f.fwdKind = FwdKind::ReadEx;
+        f.dst = e.owner;
+        f.requester = requester;
+        f.lineAddr = line;
+        f.version = vnew;
+        f.ackCount = 0;
+        f.legs = req.legs + 1;
+        sendAt(when, f);
+
+        e.state = DirEntry::State::Dirty;
+        e.owner = requester;
+        e.sharers = 0;
+        e.version = vnew; // home tracks the latest committed generation
+        updateLinkage(line, e);
+        return;
+    }
+
+    // Shared or Uncached.
+    std::uint64_t inv_set = e.sharers & ~(1ull << requester);
+    if (e.ptrOverflow) {
+        // Limited-pointer overflow: invalidate every compute node.
+        inv_set = ctx_.computeNodeMask() & ~(1ull << requester);
+        ctx_.stats().add("home.broadcast_invals");
+    }
+    bool fwd_to_master = false;
+    NodeId master = kInvalidNode;
+    if (!hasData(line, e) && !e.pagedOut && e.masterOut &&
+        e.owner != requester) {
+        fwd_to_master = true;
+        master = e.owner;
+        inv_set &= ~(1ull << master);
+    }
+    const int n_inv = __builtin_popcountll(inv_set);
+
+    const Tick occ = scaled(costs().readExOccupancy) +
+                     static_cast<Tick>(n_inv) *
+                         scaled(costs().perInvalOccupancy);
+    const Tick start = engine_.acquire(now, occ);
+    Tick when = start + handlerLatency(req, costs().readExLatency);
+
+    for (NodeId t = 0; t < 64; ++t) {
+        if (!((inv_set >> t) & 1))
+            continue;
+        ++invals_;
+        Message i;
+        i.type = MsgType::Inval;
+        i.dst = t;
+        i.requester = requester;
+        i.lineAddr = line;
+        sendAt(when, i);
+    }
+
+    const bool dataless_ok = req.type == MsgType::UpgradeReq &&
+                             e.isSharer(requester) && !fwd_to_master;
+
+    if (dataless_ok) {
+        Message r;
+        r.type = MsgType::UpgradeReply;
+        r.dst = requester;
+        r.lineAddr = line;
+        r.ackCount = n_inv;
+        r.version = vnew;
+        r.legs = req.legs + 1;
+        r.needsTxnDone = n_inv > 0;
+        sendAt(when, r);
+    } else if (fwd_to_master) {
+        ++forwards_;
+        Message f;
+        f.type = MsgType::Fwd;
+        f.fwdKind = FwdKind::ReadEx;
+        f.dst = master;
+        f.requester = requester;
+        f.lineAddr = line;
+        f.version = vnew;
+        f.ackCount = n_inv;
+        f.legs = req.legs + 1;
+        sendAt(when, f);
+    } else {
+        if (e.pagedOut)
+            when += pageIn(line, e);
+        if (hasData(line, e))
+            when += dataAccessLatency(e);
+        // Cold writes serve a zero-filled line with no storage cost.
+        Message r;
+        r.type = MsgType::ReadExReply;
+        r.dst = requester;
+        r.lineAddr = line;
+        r.ackCount = n_inv;
+        r.version = vnew;
+        r.legs = req.legs + 1;
+        r.needsTxnDone = n_inv > 0;
+        sendAt(when, r);
+    }
+
+    // Track the latest committed generation at the directory entry so
+    // that replies served from non-home copies can be labeled.
+    e.version = vnew;
+    // Writes that neither forwarded nor invalidated anyone complete at
+    // the home; unblock immediately.
+    if (!fwd_to_master && n_inv == 0)
+        e.busy = false;
+    // The key AGG storage move: a line dirty in a P-node keeps no home
+    // placeholder, so its Data slot is reclaimed here.
+    releaseData(line, e);
+    e.masterOut = false;
+    e.state = DirEntry::State::Dirty;
+    e.owner = requester;
+    e.sharers = 0;
+    e.ptrOverflow = false;
+    e.homeHasData = false;
+    e.pagedOut = false;
+    updateLinkage(line, e);
+}
+
+void
+HomeBase::handleWriteBack(const Message &msg)
+{
+    ++writeBacks_;
+    DirEntry &e = entryFor(msg.lineAddr);
+
+    const Tick now = ctx_.eq().curTick();
+    const Tick start =
+        engine_.acquire(now, scaled(costs().writeBackOccupancy));
+    Tick when = start + handlerLatency(msg, costs().writeBackLatency);
+
+    // Attribution: a *dirty* writeback from the current owner, or a
+    // master-copy writeback from the current master. The masterClean
+    // flag disambiguates the race where a node's clean-master eviction
+    // crosses its own upgrade: by the time the writeback arrives the
+    // node is the dirty owner again, but this (v_old) data must not be
+    // absorbed. Conversely, a dirty eviction whose owner was demoted
+    // to master by an intervening forwarded read is still the master's
+    // (current) data.
+    const bool from_owner = e.state == DirEntry::State::Dirty &&
+                            e.owner == msg.src && !msg.masterClean;
+    const bool from_master = e.state == DirEntry::State::Shared &&
+                             e.masterOut && e.owner == msg.src;
+
+    if (from_owner) {
+        when += absorbData(msg.lineAddr, e, msg.version);
+        e.state = DirEntry::State::Uncached;
+        e.owner = kInvalidNode;
+        e.sharers = 0;
+        e.masterOut = false;
+    } else if (from_master) {
+        e.dropSharer(msg.src);
+        if (!hasData(msg.lineAddr, e) && !e.pagedOut)
+            when += absorbData(msg.lineAddr, e, msg.version);
+        e.masterOut = false;
+        e.owner = kInvalidNode;
+        if (e.sharers == 0 && hasData(msg.lineAddr, e))
+            e.state = DirEntry::State::Uncached;
+    } else {
+        // Late writeback: the transaction that took the line away has
+        // already been serialized; the data here is superseded.
+        ++staleWriteBacks_;
+        e.dropSharer(msg.src);
+    }
+    updateLinkage(msg.lineAddr, e);
+
+    Message ack;
+    ack.type = MsgType::WriteBackAck;
+    ack.dst = msg.src;
+    ack.lineAddr = msg.lineAddr;
+    sendAt(when, ack);
+}
+
+void
+HomeBase::handleTxnDone(const Message &msg)
+{
+    const Tick now = ctx_.eq().curTick();
+    const Tick start = engine_.acquire(now, scaled(costs().ackOccupancy));
+    const Tick when = start + scaled(costs().ackLatency);
+    const Addr line = msg.lineAddr;
+    ctx_.eq().schedule(when, [this, line] { finishTxn(line); });
+}
+
+void
+HomeBase::finishTxn(Addr line)
+{
+    DirEntry &e = entryFor(line);
+    if (!e.busy)
+        panic("finishTxn on idle line");
+    e.busy = false;
+    // Serve queued requests until one blocks the line again. (A queued
+    // WriteBack completes without blocking, so draining must continue
+    // past it.)
+    while (!e.busy && !e.pending.empty()) {
+        Message next = e.pending.front();
+        e.pending.pop_front();
+        serveRequest(next);
+    }
+}
+
+void
+HomeBase::handleOwnerToHome(const Message &msg)
+{
+    DirEntry &e = entryFor(msg.lineAddr);
+    const Tick now = ctx_.eq().curTick();
+    engine_.acquire(now, scaled(costs().ackOccupancy));
+
+    // A sharing writeback is only valid while the line is still in the
+    // shared epoch it was produced in: the version must match the
+    // home's latest committed generation and the master must still be
+    // out. A late OwnerToHome from before an intervening write would
+    // otherwise resurrect stale data.
+    const bool current = e.state == DirEntry::State::Shared &&
+                         msg.version == e.version &&
+                         (e.masterOut || !grantsMasterOnRead());
+    if (current && wantsSharingData(msg.lineAddr, e) &&
+        canAbsorbCheaply()) {
+        absorbData(msg.lineAddr, e, msg.version);
+        updateLinkage(msg.lineAddr, e);
+    } else {
+        ctx_.stats().add("home.sharing_wb_dropped");
+    }
+}
+
+void
+HomeBase::handleInjectResponse(const Message &msg)
+{
+    panic("unexpected inject response " + msg.toString());
+}
+
+void
+HomeBase::handleCimReq(const Message &msg)
+{
+    panic("this home does not support computation in memory: " +
+          msg.toString());
+}
+
+void
+HomeBase::adoptEntry(Addr line, const DirEntry &e)
+{
+    if (e.busy || !e.pending.empty())
+        panic("adopting a busy directory entry");
+    DirEntry &mine = entryFor(line);
+    mine.state = e.state;
+    mine.sharers = e.sharers;
+    mine.ptrOverflow = e.ptrOverflow;
+    mine.owner = e.owner;
+    mine.masterOut = e.masterOut;
+    mine.version = e.version;
+    mine.pagedOut = e.pagedOut;
+    if (e.homeHasData) {
+        absorbData(line, mine, e.version);
+    } else {
+        if (mine.homeHasData && mine.localPtr != kNilPtr)
+            releaseData(line, mine);
+        mine.homeHasData = false;
+        mine.pagedOut = e.pagedOut;
+    }
+    updateLinkage(line, mine);
+}
+
+void
+HomeBase::functionalWriteBack(Addr line, NodeId from, Version v)
+{
+    DirEntry &e = entryFor(line);
+    if (e.busy)
+        panic("functional writeback into a busy entry");
+    const bool from_owner =
+        e.state == DirEntry::State::Dirty && e.owner == from;
+    const bool from_master = e.state == DirEntry::State::Shared &&
+                             e.masterOut && e.owner == from;
+    if (from_owner) {
+        absorbData(line, e, v);
+        e.state = DirEntry::State::Uncached;
+        e.owner = kInvalidNode;
+        e.sharers = 0;
+        e.masterOut = false;
+    } else if (from_master) {
+        e.dropSharer(from);
+        if (!hasData(line, e) && !e.pagedOut)
+            absorbData(line, e, v);
+        e.masterOut = false;
+        e.owner = kInvalidNode;
+        if (e.sharers == 0)
+            e.state = DirEntry::State::Uncached;
+    } else {
+        e.dropSharer(from);
+        if (e.sharers == 0 && e.state == DirEntry::State::Shared &&
+            !e.masterOut)
+            e.state = DirEntry::State::Uncached;
+    }
+    updateLinkage(line, e);
+}
+
+void
+HomeBase::collectCensus(LineCensus &census) const
+{
+    census.dNodeCapacityLines += storageCapacityLines();
+    dir_.forEach([&](Addr, const DirEntry &e) {
+        if (e.state == DirEntry::State::Dirty) {
+            ++census.dirtyInPNode;
+        } else if (e.sharers != 0) {
+            ++census.sharedInPNode;
+        } else if (e.homeHasData || e.pagedOut) {
+            ++census.dNodeOnly;
+        }
+        if (e.homeHasData)
+            ++census.dNodeUsedLines;
+    });
+}
+
+void
+HomeBase::checkInvariants() const
+{
+    dir_.forEach([&](Addr, const DirEntry &e) {
+        if (e.state == DirEntry::State::Dirty) {
+            if (e.owner == kInvalidNode)
+                panic("dirty line with no owner");
+            if (e.sharers != 0)
+                panic("dirty line with sharers");
+            if (e.homeHasData)
+                panic("dirty line with home data");
+        }
+        if (e.masterOut && e.owner == kInvalidNode)
+            panic("masterOut with no master node");
+        if (e.state == DirEntry::State::Uncached && e.sharers != 0)
+            panic("uncached line with sharers");
+    });
+}
+
+} // namespace pimdsm

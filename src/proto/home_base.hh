@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Shared home-side coherence engine.
+ *
+ * All three machines use a DASH-like directory protocol with a blocked
+ * home: the home serializes transactions per line, and each requester
+ * sends a final TxnDone acknowledgment (the paper's Acknowledgment
+ * handler, Table 2) that unblocks the line. Subclasses specialize the
+ * home *storage* policy:
+ *
+ *  - AggDNodeHome: software handlers, Data/Pointer arrays, dirty lines
+ *    keep no home placeholder, SharedList reuse, paging out.
+ *  - NumaHome: hardware directory overlapped with an always-backing
+ *    plain memory.
+ *  - ComaHome: directory only — data lives in attraction memories; a
+ *    displaced master line is injected into a provider node.
+ */
+
+#ifndef PIMDSM_PROTO_HOME_BASE_HH
+#define PIMDSM_PROTO_HOME_BASE_HH
+
+#include <cstdint>
+
+#include "proto/context.hh"
+#include "proto/directory.hh"
+#include "proto/message.hh"
+#include "sim/event_queue.hh"
+
+namespace pimdsm
+{
+
+class HomeBase
+{
+  public:
+    HomeBase(ProtoContext &ctx, NodeId self);
+    virtual ~HomeBase() = default;
+
+    NodeId self() const { return self_; }
+
+    /** Entry point for every home-bound message delivered to this node. */
+    void handleMessage(const Message &msg);
+
+    DirectoryTable &directory() { return dir_; }
+    const DirectoryTable &directory() const { return dir_; }
+
+    /** Protocol engine (D-node processor / hardware controller). */
+    const Resource &engine() const { return engine_; }
+    Resource &engine() { return engine_; }
+
+    /** Count lines by coherence state for Figure 8. */
+    void collectCensus(LineCensus &census) const;
+
+    std::uint64_t readsServed() const { return reads_; }
+    std::uint64_t writesServed() const { return writes_; }
+    std::uint64_t writeBacksServed() const { return writeBacks_; }
+    std::uint64_t forwardsSent() const { return forwards_; }
+    std::uint64_t invalsSent() const { return invals_; }
+    std::uint64_t staleWriteBacks() const { return staleWriteBacks_; }
+
+    /** Debug invariant check over all entries; panics on violation. */
+    void checkInvariants() const;
+
+    // ------------------------------------------------------------------
+    // Reconfiguration support (machine must be quiesced).
+    // ------------------------------------------------------------------
+
+    /** Take over directory entry @p e for @p line from a retiring home. */
+    void adoptEntry(Addr line, const DirEntry &e);
+
+    /** Absorb an owned line flushed from a node that changes role. */
+    void functionalWriteBack(Addr line, NodeId from, Version v);
+
+    /** Drop all directory state and storage (node leaves D role). */
+    virtual void resetForReconfig() { dir_.clear(); }
+
+  protected:
+    // ------------------------------------------------------------------
+    // Storage hooks.
+    // ------------------------------------------------------------------
+
+    /** Called when a directory entry is first created. */
+    virtual void initEntry(Addr line, DirEntry &e) = 0;
+
+    /** Does home storage hold an up-to-date copy? */
+    virtual bool
+    hasData(Addr, const DirEntry &e) const
+    {
+        return e.homeHasData;
+    }
+
+    /** Latency of reading/writing one line in home storage. */
+    virtual Tick dataAccessLatency(DirEntry &e) = 0;
+
+    /**
+     * Make home storage hold the line (allocating space as needed).
+     * @return extra latency incurred (e.g. reclaim work).
+     */
+    virtual Tick absorbData(Addr line, DirEntry &e, Version v) = 0;
+
+    /** Drop the home copy because the line went Dirty at a P-node. */
+    virtual void releaseData(Addr line, DirEntry &e) = 0;
+
+    /** May this home keep data at all (COMA: no)? */
+    virtual bool backsLines() const { return true; }
+
+    /** Hand out mastership to the first reader (AGG/COMA: yes). */
+    virtual bool grantsMasterOnRead() const { return true; }
+
+    /** Absorb opportunistic sharing writebacks (OwnerToHome)? */
+    virtual bool wantsSharingData(Addr line, const DirEntry &e) const;
+
+    /** Is an opportunistic absorb cheap right now (AGG: FreeList)? */
+    virtual bool canAbsorbCheaply() const { return true; }
+
+    /**
+     * Re-establish storage bookkeeping after a state change (AGG links
+     * or unlinks the Data slot on SharedList: a slot is reclaimable iff
+     * homeHasData && masterOut).
+     */
+    virtual void updateLinkage(Addr line, DirEntry &e);
+
+    /** Charge for paging a line back in from disk; clears pagedOut. */
+    virtual Tick pageIn(Addr line, DirEntry &e);
+
+    /** Cold read: no copy exists anywhere. Default: absorb zero-fill
+     *  data and serve from home (AGG/NUMA); COMA overrides to grant a
+     *  master copy to the requester directly. */
+    virtual void serveColdRead(Addr line, DirEntry &e, const Message &req,
+                               Tick when);
+
+    /** Displaced Dirty/SharedMaster line arriving at home. */
+    virtual void handleWriteBack(const Message &msg);
+
+    /** COMA injection responses; others never see these. */
+    virtual void handleInjectResponse(const Message &msg);
+
+    /** Computation-in-memory request (AGG D-nodes only). */
+    virtual void handleCimReq(const Message &msg);
+
+    // ------------------------------------------------------------------
+    // Cost hooks.
+    // ------------------------------------------------------------------
+
+    /** Delay from message arrival to the handler noticing it. */
+    virtual Tick detectDelay() const { return 0; }
+
+    /** 1.0 for software handlers; 0.7 for NUMA/COMA hardware. */
+    virtual double costFactor() const { return 1.0; }
+
+    /**
+     * Latency contribution of the protocol handler for @p req. NUMA
+     * overrides this to 0 for node-local requests: the on-chip
+     * directory access is overlapped with the memory access
+     * (Section 3).
+     */
+    virtual Tick handlerLatency(const Message &req, Tick base) const;
+
+    /** Line slots this home's storage provides (Figure 8 capacity). */
+    virtual std::uint64_t storageCapacityLines() const { return 0; }
+
+    /** Apply costFactor to a Table 2 constant. */
+    Tick scaled(Tick t) const;
+
+    const HandlerCosts &costs() const { return ctx_.config().handlers; }
+
+    // ------------------------------------------------------------------
+    // Engine helpers (available to subclasses).
+    // ------------------------------------------------------------------
+
+    /** Emit @p msg at absolute tick @p when. */
+    void sendAt(Tick when, Message msg);
+
+    /** Get-or-create the entry for @p line. */
+    DirEntry &entryFor(Addr line);
+
+    /** Process one request now (line known not busy). */
+    void serveRequest(const Message &msg);
+
+    void serveRead(Addr line, DirEntry &e, const Message &req);
+    void serveWrite(Addr line, DirEntry &e, const Message &req);
+    void handleTxnDone(const Message &msg);
+    void handleOwnerToHome(const Message &msg);
+
+    /** Unblock @p line and serve the next queued request, if any. */
+    void finishTxn(Addr line);
+
+    ProtoContext &ctx_;
+    NodeId self_;
+    Resource engine_;
+    DirectoryTable dir_;
+    /** Monotonic egress time (see sendAt). */
+    Tick egressClock_ = 0;
+
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t writeBacks_ = 0;
+    std::uint64_t forwards_ = 0;
+    std::uint64_t invals_ = 0;
+    std::uint64_t staleWriteBacks_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_HOME_BASE_HH

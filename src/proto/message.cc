@@ -1,0 +1,105 @@
+#include "proto/message.hh"
+
+#include <sstream>
+
+namespace pimdsm
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+        return "ReadReq";
+      case MsgType::ReadExReq:
+        return "ReadExReq";
+      case MsgType::UpgradeReq:
+        return "UpgradeReq";
+      case MsgType::WriteBack:
+        return "WriteBack";
+      case MsgType::TxnDone:
+        return "TxnDone";
+      case MsgType::ReadReply:
+        return "ReadReply";
+      case MsgType::ReadExReply:
+        return "ReadExReply";
+      case MsgType::UpgradeReply:
+        return "UpgradeReply";
+      case MsgType::Fwd:
+        return "Fwd";
+      case MsgType::Inval:
+        return "Inval";
+      case MsgType::WriteBackAck:
+        return "WriteBackAck";
+      case MsgType::Inject:
+        return "Inject";
+      case MsgType::MasterGrant:
+        return "MasterGrant";
+      case MsgType::FwdReply:
+        return "FwdReply";
+      case MsgType::OwnerToHome:
+        return "OwnerToHome";
+      case MsgType::InvalAck:
+        return "InvalAck";
+      case MsgType::InjectAck:
+        return "InjectAck";
+      case MsgType::InjectNack:
+        return "InjectNack";
+      case MsgType::CimReq:
+        return "CimReq";
+      case MsgType::CimReply:
+        return "CimReply";
+      default:
+        return "?";
+    }
+}
+
+bool
+msgBoundForHome(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+      case MsgType::ReadExReq:
+      case MsgType::UpgradeReq:
+      case MsgType::WriteBack:
+      case MsgType::TxnDone:
+      case MsgType::OwnerToHome:
+      case MsgType::InjectAck:
+      case MsgType::InjectNack:
+      case MsgType::CimReq:
+        return true;
+      default:
+        return false;
+    }
+}
+
+int
+Message::payloadBytes(int mem_line_bytes) const
+{
+    switch (type) {
+      case MsgType::ReadReply:
+      case MsgType::ReadExReply:
+      case MsgType::FwdReply:
+      case MsgType::WriteBack:
+      case MsgType::OwnerToHome:
+      case MsgType::Inject:
+        return mem_line_bytes;
+      case MsgType::CimReply:
+        // One pointer per matching record.
+        return static_cast<int>(cimCount * 8);
+      default:
+        return 0;
+    }
+}
+
+std::string
+Message::toString() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " line=0x" << std::hex << lineAddr
+       << std::dec << " " << src << "->" << dst << " req=" << requester
+       << " acks=" << ackCount << " legs=" << legs << " v=" << version;
+    return os.str();
+}
+
+} // namespace pimdsm

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Coherence protocol messages exchanged between compute-side and
+ * home-side controllers over the mesh.
+ */
+
+#ifndef PIMDSM_PROTO_MESSAGE_HH
+#define PIMDSM_PROTO_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+enum class MsgType : std::uint8_t
+{
+    // Compute node -> home.
+    ReadReq,      ///< read miss
+    ReadExReq,    ///< write miss (needs data + exclusivity)
+    UpgradeReq,   ///< write hit on Shared copy (needs exclusivity only)
+    WriteBack,    ///< displaced Dirty/SharedMaster line (carries data)
+    TxnDone,      ///< requester's completion ack; unblocks the home line
+
+    // Home -> compute node.
+    ReadReply,    ///< data, shared (grantsMaster set for first reader)
+    ReadExReply,  ///< data + exclusivity; ackCount invalidations pending
+    UpgradeReply, ///< exclusivity granted without data; ackCount pending
+    Fwd,          ///< forward a Read/ReadEx to the current owner/master
+    Inval,        ///< invalidate; ack to msg.requester
+    WriteBackAck, ///< home absorbed a displaced line
+    Inject,       ///< COMA: take this displaced master line (carries data)
+    MasterGrant,  ///< COMA: you are now the master of your Shared copy
+
+    // Peer-to-peer.
+    FwdReply,     ///< owner's data to the original requester
+    OwnerToHome,  ///< owner's sharing-writeback / downgrade notice to home
+    InvalAck,     ///< sharer -> requester
+    InjectAck,    ///< provider accepted an injected line (to home)
+    InjectNack,   ///< provider refused (its set is full of owned lines)
+
+    // Computation-in-memory (Section 2.4 / Figure 10-b).
+    CimReq,       ///< P-node asks a D-node to scan records
+    CimReply,     ///< D-node returns matching record pointers
+};
+
+const char *msgTypeName(MsgType t);
+
+/** True if @p t is processed by the destination's home-side controller. */
+bool msgBoundForHome(MsgType t);
+
+/** What a Fwd asks the owner to do. */
+enum class FwdKind : std::uint8_t
+{
+    Read,   ///< downgrade to SharedMaster, send data to requester + home
+    ReadEx, ///< invalidate, send data to requester
+};
+
+struct Message
+{
+    MsgType type = MsgType::ReadReq;
+    Addr lineAddr = kInvalidAddr;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    /** Original requester for forwarded flows and inval acks. */
+    NodeId requester = kInvalidNode;
+    /** Functional data version carried by data-bearing messages. */
+    Version version = 0;
+    /** Invalidation acks the requester must collect (replies). */
+    int ackCount = 0;
+    /** Fwd subtype. */
+    FwdKind fwdKind = FwdKind::Read;
+    /** Network hops this transaction has made so far (for Fig 7). */
+    int legs = 0;
+    /** ReadReply: the home handed mastership to the requester. */
+    bool grantsMaster = false;
+    /**
+     * The home stays blocked until the requester's TxnDone. Set only
+     * for transactions that involve third parties (forwards or
+     * invalidations); simple home-served transactions unblock
+     * immediately, relying on the mesh's per-source-destination
+     * ordering (XY routing + FIFO links).
+     */
+    bool needsTxnDone = false;
+    /** WriteBack: line was SharedMaster (clean) rather than Dirty. */
+    bool masterClean = false;
+    /** CIM: records to scan / matches returned. */
+    std::uint64_t cimCount = 0;
+
+    /** Payload bytes (data-bearing messages carry one memory line). */
+    int payloadBytes(int mem_line_bytes) const;
+
+    std::string toString() const;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_MESSAGE_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * CC-NUMA node: compute side whose coherence rights live directly in
+ * the L2 tags (no local caching of remote data beyond the caches), and
+ * a home side with an on-chip hardware directory overlapped with an
+ * always-backing plain memory (Section 3).
+ */
+
+#ifndef PIMDSM_PROTO_NUMA_NODE_HH
+#define PIMDSM_PROTO_NUMA_NODE_HH
+
+#include "mem/plain_memory.hh"
+#include "proto/compute_base.hh"
+#include "proto/home_base.hh"
+
+namespace pimdsm
+{
+
+class NumaCompute : public ComputeBase
+{
+  public:
+    NumaCompute(ProtoContext &ctx, NodeId self);
+
+  protected:
+    CohState nodeState(Addr line) const override;
+    Version nodeVersion(Addr line) const override;
+    Tick localDataAccess(Addr line, Tick issue) override;
+    void installLine(Addr line, CohState st, Version v) override;
+    void setNodeState(Addr line, CohState st, Version v) override;
+    CohState invalidateLocal(Addr line) override;
+    void onL2Evict(Addr line, bool dirty, CohState st,
+                   Version v) override;
+    Tick fwdDataLatency() const override;
+    CohState downgradeState() const override { return CohState::Shared; }
+    void forEachOwnedLine(
+        const std::function<void(Addr, CohState, Version)> &fn) override;
+    void invalidateAllLocal() override {}
+};
+
+class NumaHome : public HomeBase
+{
+  public:
+    NumaHome(ProtoContext &ctx, NodeId self, std::uint64_t mem_bytes);
+
+    PlainMemory &memory() { return mem_; }
+
+  protected:
+    void initEntry(Addr line, DirEntry &e) override;
+    Tick dataAccessLatency(DirEntry &e) override;
+    Tick absorbData(Addr line, DirEntry &e, Version v) override;
+    void releaseData(Addr line, DirEntry &e) override;
+    bool grantsMasterOnRead() const override { return false; }
+    double costFactor() const override;
+    Tick handlerLatency(const Message &req, Tick base) const override;
+
+  private:
+    PlainMemory mem_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_NUMA_NODE_HH

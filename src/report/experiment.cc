@@ -1,0 +1,150 @@
+#include "report/experiment.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "core/processor.hh"
+#include "core/sync.hh"
+#include "machine/machine.hh"
+#include "machine/reconfig.hh"
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+RunResult
+runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
+{
+    if (std::getenv("PIMDSM_TRACE"))
+        Trace::enable("proto");
+    cfg.l1.sizeBytes = wl.l1Bytes();
+    cfg.l2.sizeBytes = wl.l2Bytes();
+
+    Machine m(cfg);
+    SyncManager sync(static_cast<int>(m.computeNodes().size()));
+
+    RunResult result;
+
+    // Per-phase D-node engine busy snapshot for the auto policy.
+    auto dnode_busy = [&m] {
+        Tick busy = 0;
+        for (NodeId d : m.directoryNodes())
+            busy += m.home(d)->engine().busyTicks();
+        return busy;
+    };
+
+    for (int phase = 0; phase < wl.numPhases(); ++phase) {
+        // Apply any reconfiguration scheduled before this phase.
+        for (const auto &step : opts.reconfig) {
+            if (step.beforePhase != phase)
+                continue;
+            const ReconfigResult rr =
+                applyReconfig(m, step.newPNodes, step.newDNodes);
+            m.eq().runUntil(m.eq().curTick() + rr.cost);
+            result.reconfigTicks += rr.cost;
+        }
+
+        const auto compute_ids = m.computeNodes();
+        const int threads = static_cast<int>(compute_ids.size());
+        sync.setNumThreads(threads);
+        const Tick busy_at_start = dnode_busy();
+        const int dnodes_now =
+            static_cast<int>(m.directoryNodes().size());
+
+        std::vector<std::unique_ptr<Processor>> procs;
+        procs.reserve(threads);
+        int done = 0;
+        for (int t = 0; t < threads; ++t) {
+            procs.push_back(std::make_unique<Processor>(
+                m.eq(), *m.compute(compute_ids[t]), sync, t, cfg.proc));
+        }
+        for (int t = 0; t < threads; ++t) {
+            procs[t]->run(wl.makeStream(phase, t, threads),
+                          [&done] { ++done; });
+        }
+
+        PhaseResult pr;
+        pr.name = wl.phaseName(phase);
+        pr.startTick = m.eq().curTick();
+
+        std::uint64_t events = 0;
+        while (done < threads) {
+            if (!m.eq().runOne()) {
+                m.dumpState(std::cerr);
+                for (int t = 0; t < threads; ++t) {
+                    if (!procs[t]->finished())
+                        std::cerr << "thread " << t << " unfinished\n";
+                }
+                panic("deadlock: phase '" + pr.name +
+                      "' stalled with idle event queue");
+            }
+            if (++events > opts.maxEventsPerPhase)
+                panic("phase '" + pr.name + "' exceeded event budget");
+        }
+        // Drain trailing protocol activity (acks, writebacks).
+        m.eq().run();
+
+        pr.endTick = m.eq().curTick();
+        for (auto &p : procs) {
+            pr.time += p->time();
+            result.instructions += p->instructions();
+        }
+        result.time += pr.time;
+        result.phases.push_back(pr);
+
+        if (opts.checkInvariants)
+            m.checkInvariants();
+
+        // OS-initiated resizing: keep the projected D-node
+        // utilization near the target (Section 2.3's tuning hint).
+        if (opts.autoReconfig && cfg.arch == ArchKind::Agg &&
+            cfg.reconfigurable && phase + 1 < wl.numPhases() &&
+            pr.duration() > 0 && dnodes_now > 0) {
+            const double util =
+                static_cast<double>(dnode_busy() - busy_at_start) /
+                (static_cast<double>(pr.duration()) * dnodes_now);
+            int want = static_cast<int>(
+                dnodes_now * util / opts.autoReconfigTarget + 0.999);
+            const int total = m.totalNodes();
+            if (want < 1)
+                want = 1;
+            if (want > total / 2)
+                want = total / 2;
+            if (want != dnodes_now) {
+                const ReconfigResult rr =
+                    applyReconfig(m, total - want, want);
+                m.eq().runUntil(m.eq().curTick() + rr.cost);
+                result.reconfigTicks += rr.cost;
+                ++result.autoReconfigs;
+            }
+        }
+    }
+
+    result.totalTicks = m.eq().curTick();
+    result.reads = m.aggregateReadStats();
+    result.census = m.collectCensus();
+    result.messages = m.messagesSent();
+    result.counters = m.stats().all();
+
+    const auto dnodes = m.directoryNodes();
+    if (!dnodes.empty() && result.totalTicks > 0) {
+        double sum = 0;
+        for (NodeId d : dnodes) {
+            sum += static_cast<double>(m.home(d)->engine().busyTicks()) /
+                   static_cast<double>(result.totalTicks);
+        }
+        result.dNodeUtilization = sum / static_cast<double>(
+                                            dnodes.size());
+    }
+    return result;
+}
+
+RunResult
+runWorkload(const Workload &wl, const BuildSpec &spec,
+            const RunOptions &opts)
+{
+    return runWorkload(buildConfig(wl, spec), wl, opts);
+}
+
+} // namespace pimdsm

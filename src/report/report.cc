@@ -1,0 +1,110 @@
+#include "report/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace pimdsm
+{
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision)
+       << fraction * 100.0 << "%";
+    return os.str();
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size() && c < widths.size();
+             ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << "| " << cell
+               << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    rule();
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+    rule();
+}
+
+void
+printBars(std::ostream &os, const std::string &title,
+          const std::vector<std::string> &segment_names,
+          const std::vector<Bar> &bars, double reference)
+{
+    constexpr int kWidth = 50;
+    static const char kGlyphs[] = {'#', '=', '.', '%', 'o', '+'};
+
+    os << title << "\n";
+    os << "  legend:";
+    for (std::size_t i = 0; i < segment_names.size(); ++i) {
+        os << " " << kGlyphs[i % sizeof(kGlyphs)] << "="
+           << segment_names[i];
+    }
+    os << "  (full width = " << reference << ")\n";
+
+    std::size_t label_width = 0;
+    for (const auto &b : bars)
+        label_width = std::max(label_width, b.label.size());
+
+    for (const auto &b : bars) {
+        os << "  " << b.label
+           << std::string(label_width - b.label.size(), ' ') << " |";
+        double total = 0;
+        for (std::size_t i = 0; i < b.segments.size(); ++i) {
+            const int cells = static_cast<int>(std::lround(
+                b.segments[i] / reference * kWidth));
+            os << std::string(std::max(cells, 0),
+                              kGlyphs[i % sizeof(kGlyphs)]);
+            total += b.segments[i];
+        }
+        os << "  " << TablePrinter::num(total / reference, 2) << "\n";
+    }
+    os << "\n";
+}
+
+} // namespace pimdsm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Text table/figure rendering shared by the benches: fixed-width
+ * column tables and ASCII stacked-bar charts for normalized execution
+ * time breakdowns.
+ */
+
+#ifndef PIMDSM_REPORT_REPORT_HH
+#define PIMDSM_REPORT_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pimdsm
+{
+
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    void print(std::ostream &os) const;
+
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * One bar in a stacked horizontal chart: a label and segment values
+ * (already normalized; 1.0 == full reference width).
+ */
+struct Bar
+{
+    std::string label;
+    std::vector<double> segments;
+};
+
+/**
+ * Render stacked bars, one row each, with a legend. Used to echo the
+ * paper's Figure 6/7/8 bar charts on the terminal.
+ */
+void printBars(std::ostream &os, const std::string &title,
+               const std::vector<std::string> &segment_names,
+               const std::vector<Bar> &bars, double reference = 1.0);
+
+} // namespace pimdsm
+
+#endif // PIMDSM_REPORT_REPORT_HH

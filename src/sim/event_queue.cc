@@ -1,0 +1,52 @@
+#include "sim/event_queue.hh"
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+void
+EventQueue::schedule(Tick when, Callback fn)
+{
+    if (when < curTick_)
+        panic("event scheduled in the past");
+    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::runOne()
+{
+    if (heap_.empty())
+        return false;
+    // Move the callback out before popping so that the callback may
+    // schedule new events without invalidating the entry.
+    Entry e = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    curTick_ = e.when;
+    e.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::run(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick until)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+        runOne();
+        ++n;
+    }
+    if (curTick_ < until)
+        curTick_ = until;
+    return n;
+}
+
+} // namespace pimdsm

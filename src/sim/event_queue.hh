@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue drives a Machine. Events are callbacks scheduled at
+ * an absolute Tick; events at the same tick execute in scheduling order
+ * (FIFO), which keeps simulations deterministic.
+ */
+
+#ifndef PIMDSM_SIM_EVENT_QUEUE_HH
+#define PIMDSM_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick curTick() const { return curTick_; }
+
+    /** Schedule @p fn at absolute time @p when (>= curTick). */
+    void schedule(Tick when, Callback fn);
+
+    /** Schedule @p fn @p delta ticks from now. */
+    void scheduleIn(Tick delta, Callback fn)
+    {
+        schedule(curTick_ + delta, std::move(fn));
+    }
+
+    /** Number of events not yet executed. */
+    std::size_t pending() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Execute the next event, advancing curTick to its time.
+     * @retval false if the queue was empty.
+     */
+    bool runOne();
+
+    /**
+     * Run events until the queue drains or @p max_events have executed.
+     * @return number of events executed.
+     */
+    std::uint64_t run(std::uint64_t max_events = ~0ull);
+
+    /**
+     * Run events with timestamps <= @p until (inclusive); curTick ends at
+     * max(executed event times, until).
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Tick until);
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+};
+
+/**
+ * A serially-occupied resource (a processor running protocol handlers, a
+ * memory port, a network link). Requests occupy the resource back to back:
+ * a request arriving at time t with occupancy o starts at
+ * max(t, freeAt) and finishes at start + o.
+ */
+class Resource
+{
+  public:
+    /**
+     * Reserve the resource for @p occupancy ticks starting no earlier
+     * than @p now.
+     * @return the tick at which the reservation *starts*.
+     */
+    Tick
+    acquire(Tick now, Tick occupancy)
+    {
+        Tick start = freeAt_ > now ? freeAt_ : now;
+        freeAt_ = start + occupancy;
+        busyTicks_ += occupancy;
+        ++acquisitions_;
+        return start;
+    }
+
+    /** First tick at which the resource is idle. */
+    Tick freeAt() const { return freeAt_; }
+
+    /** Total ticks the resource has been reserved for. */
+    Tick busyTicks() const { return busyTicks_; }
+
+    /** Number of acquire() calls. */
+    std::uint64_t acquisitions() const { return acquisitions_; }
+
+    void
+    reset()
+    {
+        freeAt_ = 0;
+        busyTicks_ = 0;
+        acquisitions_ = 0;
+    }
+
+  private:
+    Tick freeAt_ = 0;
+    Tick busyTicks_ = 0;
+    std::uint64_t acquisitions_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,72 @@
+#include "sim/log.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <set>
+
+namespace pimdsm
+{
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("pimdsm panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("pimdsm fatal: " + msg);
+}
+
+namespace
+{
+
+std::set<std::string> &
+warnedSet()
+{
+    static std::set<std::string> s;
+    return s;
+}
+
+std::set<std::string> &
+traceSet()
+{
+    static std::set<std::string> s;
+    return s;
+}
+
+} // namespace
+
+void
+warn(const std::string &msg)
+{
+    if (warnedSet().insert(msg).second)
+        std::fprintf(stderr, "pimdsm warn: %s\n", msg.c_str());
+}
+
+void
+Trace::enable(const std::string &component, bool on)
+{
+    if (on)
+        traceSet().insert(component);
+    else
+        traceSet().erase(component);
+}
+
+bool
+Trace::enabled(const std::string &component)
+{
+    return traceSet().count(component) != 0;
+}
+
+void
+Trace::print(std::uint64_t tick, const std::string &component,
+             const std::string &msg)
+{
+    std::fprintf(stderr, "%12llu: %s: %s\n",
+                 static_cast<unsigned long long>(tick), component.c_str(),
+                 msg.c_str());
+}
+
+} // namespace pimdsm

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Error reporting and debug tracing.
+ *
+ * Follows the gem5 fatal/panic distinction:
+ *  - panic():  an internal simulator invariant was violated (a pimdsm bug).
+ *  - fatal():  the user supplied an impossible configuration.
+ *
+ * Both throw (PanicError / FatalError) instead of aborting so that unit
+ * tests can assert on them and library embedders can recover.
+ */
+
+#ifndef PIMDSM_SIM_LOG_HH
+#define PIMDSM_SIM_LOG_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pimdsm
+{
+
+/** Thrown by panic(): an internal invariant was violated. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(): the user configuration cannot be simulated. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void panic(const std::string &msg);
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a non-fatal warning to stderr (at most once per message text). */
+void warn(const std::string &msg);
+
+/**
+ * Debug trace control. Tracing is off by default; tests and the
+ * protocol_trace example turn it on per component.
+ */
+class Trace
+{
+  public:
+    /** Enable/disable tracing for a named component (e.g. "proto"). */
+    static void enable(const std::string &component, bool on = true);
+
+    /** True iff tracing is enabled for @p component. */
+    static bool enabled(const std::string &component);
+
+    /** Emit one trace line "tick: component: msg" to stderr. */
+    static void print(std::uint64_t tick, const std::string &component,
+                      const std::string &msg);
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_LOG_HH

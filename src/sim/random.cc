@@ -1,0 +1,84 @@
+#include "sim/random.hh"
+
+namespace pimdsm
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    // Lemire-style rejection-free reduction is fine here; a tiny modulo
+    // bias is acceptable for workload synthesis.
+    return bound ? next() % bound : 0;
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    if (hi <= lo)
+        return lo;
+    return lo + static_cast<std::int64_t>(
+        nextBounded(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * (1.0 / 9007199254740992.0); // 2^-53
+}
+
+std::uint64_t
+Rng::nextGeometric(double p, std::uint64_t cap)
+{
+    if (p >= 1.0)
+        return 1;
+    if (p <= 0.0)
+        return cap;
+    std::uint64_t n = 1;
+    while (n < cap && !chance(p))
+        ++n;
+    return n;
+}
+
+} // namespace pimdsm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fundamental simulator-wide types and address helpers.
+ */
+
+#ifndef PIMDSM_SIM_TYPES_HH
+#define PIMDSM_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pimdsm
+{
+
+/** Simulation time, in CPU cycles at 1 GHz. */
+using Tick = std::uint64_t;
+
+/** Physical/virtual address (the simulator does not distinguish). */
+using Addr = std::uint64_t;
+
+/** Node identifier; kInvalidNode marks "no node". */
+using NodeId = std::int32_t;
+
+/** Application thread identifier. */
+using ThreadId = std::int32_t;
+
+/** Monotonic per-line data version used for functional checking. */
+using Version = std::uint64_t;
+
+constexpr Tick kMaxTick = std::numeric_limits<Tick>::max();
+constexpr NodeId kInvalidNode = -1;
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Round an address down to the enclosing block of @p block_bytes. */
+constexpr Addr
+blockAlign(Addr addr, std::uint64_t block_bytes)
+{
+    return addr & ~(block_bytes - 1);
+}
+
+/** True iff @p v is a power of two (and nonzero). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr int
+log2i(std::uint64_t v)
+{
+    int r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Ceiling division for unsigned quantities. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_TYPES_HH

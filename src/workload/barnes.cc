@@ -1,0 +1,196 @@
+#include "workload/apps.hh"
+
+#include "workload/stream_util.hh"
+
+namespace pimdsm
+{
+
+namespace
+{
+
+constexpr std::uint64_t kBodyBytes = 64;
+constexpr std::uint64_t kCellBytes = 64;
+
+/** Irregular N-body force/update phases over a shared tree. */
+class BarnesStream : public BatchStream
+{
+  public:
+    BarnesStream(std::uint64_t bodies, std::uint64_t cells, int phase,
+                 ThreadId tid, int num_threads)
+        : bodies_(bodies), cells_(cells), phase_(phase), tid_(tid),
+          part_(bodies, tid, num_threads),
+          cellPart_(cells, tid, num_threads),
+          rng_(streamSeed(4, phase, tid))
+    {
+        bodyBase_ = kDataBase;
+        cellBase_ = kDataBase + bodies_ * kBodyBytes;
+        force_ = phase > 0 && (phase - 1) % 2 == 0;
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        if (phase_ == 0) {
+            refillInit();
+            return;
+        }
+        if (force_)
+            refillForce();
+        else
+            refillUpdate();
+    }
+
+  private:
+    void
+    refillInit()
+    {
+        const std::uint64_t chunk = 256;
+        std::uint64_t b = part_.begin + step_ * chunk;
+        if (b < part_.end) {
+            const std::uint64_t end = std::min(part_.end, b + chunk);
+            for (; b < end; ++b) {
+                emit(Op::compute(10));
+                emit(Op::store(bodyBase_ + b * kBodyBytes));
+            }
+            ++step_;
+            return;
+        }
+        if (!cellsInit_) {
+            cellsInit_ = true;
+            // The tree is built serially by the master thread (as in
+            // the original), so every cell page is first-touched --
+            // and placed -- at thread 0's node.
+            if (tid_ == 0) {
+                for (std::uint64_t c = 0; c < cells_; ++c) {
+                    emit(Op::compute(6));
+                    emit(Op::store(cellBase_ + c * kCellBytes));
+                }
+            }
+            return;
+        }
+        finish();
+    }
+
+    /** Costzones repartitioning drifts body ownership every
+     *  iteration, so placement never matches perfectly. */
+    std::uint64_t
+    driftedBody(std::uint64_t b) const
+    {
+        const std::uint64_t drift =
+            static_cast<std::uint64_t>(phase_ / 2) * part_.size() / 4;
+        return (b + drift) % bodies_;
+    }
+
+    void
+    refillForce()
+    {
+        const std::uint64_t chunk = 64;
+        const std::uint64_t begin = part_.begin + step_ * chunk;
+        if (begin >= part_.end) {
+            finish();
+            return;
+        }
+        const std::uint64_t end = std::min(part_.end, begin + chunk);
+        for (std::uint64_t bb = begin; bb < end; ++bb) {
+            const std::uint64_t b = driftedBody(bb);
+            emit(Op::load(bodyBase_ + b * kBodyBytes, 12));
+            // The accumulator is updated in place as the walk
+            // proceeds, so ownership is requested right away.
+            emit(Op::store(bodyBase_ + b * kBodyBytes));
+            // Tree walk: ~12 cell visits, half in the hot tree top
+            // (widely shared, read-only), half scattered.
+            for (int v = 0; v < 12; ++v) {
+                std::uint64_t c;
+                if (rng_.chance(0.5))
+                    c = rng_.nextBounded(64);
+                else
+                    c = rng_.nextBounded(cells_);
+                emit(Op::load(cellBase_ + c * kCellBytes, 10));
+                emit(Op::compute(18));
+            }
+            emit(Op::compute(60));
+            emit(Op::store(bodyBase_ + b * kBodyBytes));
+        }
+        ++step_;
+    }
+
+    void
+    refillUpdate()
+    {
+        const std::uint64_t chunk = 256;
+        const std::uint64_t begin = part_.begin + step_ * chunk;
+        if (begin >= part_.end) {
+            if (!rebuilt_) {
+                rebuilt_ = true;
+                // Tree rebuild: lock-protected scattered cell updates.
+                for (std::uint64_t i = 0; i < cellPart_.size(); i += 32) {
+                    emit(Op::lock(kSyncBase + 256));
+                    for (int j = 0; j < 8; ++j) {
+                        const std::uint64_t c =
+                            rng_.nextBounded(cells_);
+                        emit(Op::store(cellBase_ + c * kCellBytes));
+                    }
+                    emit(Op::compute(80));
+                    emit(Op::unlock(kSyncBase + 256));
+                }
+                return;
+            }
+            finish();
+            return;
+        }
+        const std::uint64_t end = std::min(part_.end, begin + chunk);
+        for (std::uint64_t bb = begin; bb < end; ++bb) {
+            const std::uint64_t b = driftedBody(bb);
+            emit(Op::load(bodyBase_ + b * kBodyBytes, 14));
+            emit(Op::compute(16));
+            emit(Op::store(bodyBase_ + b * kBodyBytes));
+        }
+        ++step_;
+    }
+
+    std::uint64_t bodies_;
+    std::uint64_t cells_;
+    int phase_;
+    ThreadId tid_;
+    Partition part_;
+    Partition cellPart_;
+    Rng rng_;
+    Addr bodyBase_;
+    Addr cellBase_;
+    bool force_;
+    std::uint64_t step_ = 0;
+    bool cellsInit_ = false;
+    bool rebuilt_ = false;
+};
+
+} // namespace
+
+BarnesWorkload::BarnesWorkload(int scale)
+    : bodies_(static_cast<std::uint64_t>(16384) * scale),
+      cells_(bodies_ / 4)
+{
+}
+
+std::string
+BarnesWorkload::phaseName(int p) const
+{
+    if (p == 0)
+        return "init";
+    return (p - 1) % 2 == 0 ? "force" : "update";
+}
+
+std::unique_ptr<OpStream>
+BarnesWorkload::makeStream(int phase, ThreadId tid, int num_threads) const
+{
+    return std::make_unique<BarnesStream>(bodies_, cells_, phase, tid,
+                                          num_threads);
+}
+
+std::uint64_t
+BarnesWorkload::footprintBytes() const
+{
+    return bodies_ * kBodyBytes + cells_ * kCellBytes;
+}
+
+} // namespace pimdsm

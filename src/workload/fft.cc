@@ -1,0 +1,165 @@
+#include "workload/apps.hh"
+
+#include "workload/stream_util.hh"
+
+namespace pimdsm
+{
+
+namespace
+{
+
+constexpr std::uint64_t kElemBytes = 16; // complex double
+
+/** One FFT thread phase: local butterfly pass or blocked transpose. */
+class FftStream : public BatchStream
+{
+  public:
+    FftStream(std::uint64_t points, int phase, ThreadId tid,
+              int num_threads)
+        : points_(points), phase_(phase), tid_(tid), nt_(num_threads),
+          part_(points, tid, num_threads)
+    {
+        srcBase_ = kDataBase;
+        dstBase_ = kDataBase + points_ * kElemBytes;
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        const std::uint64_t row_elems = 512; // batch granularity
+        switch (phase_) {
+          case 0: // init: first-touch own partition of both arrays
+            {
+                if (!initBatch(srcBase_) && !initBatch(dstBase_)) {
+                    finish();
+                }
+                return;
+            }
+          case 1:
+          case 3:
+          case 5: // local butterfly pass: read src, write dst
+            {
+                const std::uint64_t begin =
+                    part_.begin + step_ * row_elems;
+                if (begin >= part_.end) {
+                    finish();
+                    return;
+                }
+                const std::uint64_t end =
+                    std::min(part_.end, begin + row_elems);
+                // ~5 instructions per complex element, 4 elems/line.
+                for (std::uint64_t e = begin; e < end; e += 4) {
+                    emit(Op::compute(48));
+                    emit(Op::load(srcBase_ + e * kElemBytes, 32));
+                    emit(Op::store(dstBase_ + e * kElemBytes));
+                }
+                ++step_;
+                return;
+            }
+          case 2:
+          case 4: // all-to-all blocked transpose: read peers' blocks
+            {
+                if (static_cast<int>(step_) >= nt_) {
+                    finish();
+                    return;
+                }
+                const int peer = (tid_ + 1 + static_cast<int>(step_)) %
+                                 nt_;
+                const Partition peer_part(points_, peer, nt_);
+                // Block (tid, peer): our slice of the peer's partition.
+                const std::uint64_t blk =
+                    peer_part.size() / static_cast<std::uint64_t>(nt_);
+                const std::uint64_t begin =
+                    peer_part.begin + blk * static_cast<std::uint64_t>(
+                                                tid_);
+                const std::uint64_t end =
+                    peer == tid_ ? begin
+                                 : std::min(peer_part.end, begin + blk);
+                const Addr rd = phase_ == 2 ? dstBase_ : srcBase_;
+                const Addr wr = phase_ == 2 ? srcBase_ : dstBase_;
+                for (std::uint64_t e = begin; e < end; e += 4) {
+                    emit(Op::compute(16));
+                    emit(Op::load(rd + e * kElemBytes, 40));
+                    emit(Op::store(wr +
+                                   (part_.begin +
+                                    (e - begin)) * kElemBytes));
+                }
+                ++step_;
+                return;
+            }
+          default:
+            finish();
+        }
+    }
+
+  private:
+    /** Emit one init batch; false when this array's range is done. */
+    bool
+    initBatch(Addr base)
+    {
+        auto &cursor = base == srcBase_ ? initSrc_ : initDst_;
+        const std::uint64_t row_elems = 512;
+        const std::uint64_t begin = part_.begin + cursor * row_elems;
+        if (begin >= part_.end)
+            return false;
+        const std::uint64_t end = std::min(part_.end, begin + row_elems);
+        // The data initialization loop is blocked differently from the
+        // FFT passes, so half of each partition is first-touched (and
+        // page-placed) by a neighboring thread.
+        const std::uint64_t shift = part_.size() / 2;
+        for (std::uint64_t e = begin; e < end; e += 4) {
+            const std::uint64_t ie = (e + shift) % points_;
+            emit(Op::compute(4));
+            emit(Op::store(base + ie * kElemBytes));
+        }
+        ++cursor;
+        return true;
+    }
+
+    std::uint64_t points_;
+    int phase_;
+    ThreadId tid_;
+    int nt_;
+    Partition part_;
+    Addr srcBase_;
+    Addr dstBase_;
+    std::uint64_t step_ = 0;
+    std::uint64_t initSrc_ = 0;
+    std::uint64_t initDst_ = 0;
+};
+
+} // namespace
+
+FftWorkload::FftWorkload(int scale)
+    : points_(static_cast<std::uint64_t>(65536) * scale)
+{
+}
+
+std::string
+FftWorkload::phaseName(int p) const
+{
+    switch (p) {
+      case 0:
+        return "init";
+      case 2:
+      case 4:
+        return "transpose";
+      default:
+        return "fft-pass";
+    }
+}
+
+std::unique_ptr<OpStream>
+FftWorkload::makeStream(int phase, ThreadId tid, int num_threads) const
+{
+    return std::make_unique<FftStream>(points_, phase, tid, num_threads);
+}
+
+std::uint64_t
+FftWorkload::footprintBytes() const
+{
+    return 2 * points_ * kElemBytes;
+}
+
+} // namespace pimdsm

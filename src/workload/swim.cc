@@ -1,0 +1,108 @@
+#include "workload/apps.hh"
+
+#include "workload/stream_util.hh"
+
+namespace pimdsm
+{
+
+namespace
+{
+
+constexpr std::uint64_t kCell = 8;
+constexpr int kArrays = 4; // u, v, p, unew
+
+/** Finite-difference sweeps: 3 source arrays read, 1 written. */
+class SwimStream : public BatchStream
+{
+  public:
+    SwimStream(std::uint64_t grid, int phase, ThreadId tid,
+               int num_threads)
+        : g_(grid), phase_(phase),
+          rows_(grid, tid, num_threads)
+    {
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        const std::uint64_t r = rows_.begin + step_;
+        if (r >= rows_.end) {
+            finish();
+            return;
+        }
+        const std::uint64_t row_bytes = g_ * kCell;
+
+        if (phase_ == 0) {
+            // The initialization loops are scheduled differently from
+            // the compute sweeps (as with the SUIF-parallelized
+            // original), so half of each thread's working rows are
+            // first-touched -- and page-placed -- by a neighbor.
+            const std::uint64_t shift = rows_.size() / 2;
+            const std::uint64_t ir = (r + shift) % g_;
+            for (int a = 0; a < kArrays; ++a) {
+                const Addr row = arr(a) + ir * row_bytes;
+                for (std::uint64_t c = 0; c < row_bytes; c += 64) {
+                    emit(Op::compute(4));
+                    emit(Op::store(row + c));
+                }
+            }
+            ++step_;
+            return;
+        }
+
+        // Read u, v, p (with a boundary row of u), write unew. The
+        // row working set fits the 32 KB L1; the partition does not
+        // fit the L2 (Table 3's working-set structure).
+        const Addr north = r > 0 ? arr(0) + (r - 1) * row_bytes
+                                 : arr(0) + r * row_bytes;
+        for (std::uint64_t c = 0; c < row_bytes; c += 64) {
+            emit(Op::compute(150));
+            emit(Op::load(arr(0) + r * row_bytes + c, 30));
+            emit(Op::load(arr(1) + r * row_bytes + c, 30));
+            emit(Op::load(arr(2) + r * row_bytes + c, 30));
+            emit(Op::load(north + c, 30));
+            emit(Op::store(arr(3) + r * row_bytes + c));
+        }
+        ++step_;
+    }
+
+  private:
+    Addr arr(int a) const
+    {
+        return kDataBase +
+               static_cast<std::uint64_t>(a) * g_ * g_ * kCell;
+    }
+
+    std::uint64_t g_;
+    int phase_;
+    Partition rows_;
+    std::uint64_t step_ = 0;
+};
+
+} // namespace
+
+SwimWorkload::SwimWorkload(int scale)
+    : grid_(static_cast<std::uint64_t>(256) * scale)
+{
+}
+
+std::string
+SwimWorkload::phaseName(int p) const
+{
+    return p == 0 ? "init" : "sweep";
+}
+
+std::unique_ptr<OpStream>
+SwimWorkload::makeStream(int phase, ThreadId tid, int num_threads) const
+{
+    return std::make_unique<SwimStream>(grid_, phase, tid, num_threads);
+}
+
+std::uint64_t
+SwimWorkload::footprintBytes() const
+{
+    return kArrays * grid_ * grid_ * kCell;
+}
+
+} // namespace pimdsm

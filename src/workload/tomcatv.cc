@@ -1,0 +1,130 @@
+#include "workload/apps.hh"
+
+#include "workload/stream_util.hh"
+
+namespace pimdsm
+{
+
+namespace
+{
+
+constexpr std::uint64_t kCell = 8;
+constexpr int kArrays = 3; // x, y meshes + residuals
+
+/** Alternating row sweeps and strided column sweeps. */
+class TomcatvStream : public BatchStream
+{
+  public:
+    TomcatvStream(std::uint64_t grid, int phase, ThreadId tid,
+                  int num_threads)
+        : g_(grid), phase_(phase),
+          rows_(grid, tid, num_threads),
+          cols_(grid, tid, num_threads)
+    {
+        rowPhase_ = phase_ > 0 && (phase_ - 1) % 2 == 0;
+    }
+
+  protected:
+    void
+    refill() override
+    {
+        const std::uint64_t row_bytes = g_ * kCell;
+
+        if (phase_ == 0) {
+            const std::uint64_t r = rows_.begin + step_;
+            if (r >= rows_.end) {
+                finish();
+                return;
+            }
+            // Mesh generation touches rows in a different schedule
+            // than the solver sweeps.
+            const std::uint64_t ir = (r + rows_.size() / 2) % g_;
+            for (int a = 0; a < kArrays; ++a) {
+                const Addr row = arr(a) + ir * row_bytes;
+                for (std::uint64_t c = 0; c < row_bytes; c += 64) {
+                    emit(Op::compute(4));
+                    emit(Op::store(row + c));
+                }
+            }
+            ++step_;
+            return;
+        }
+
+        if (rowPhase_) {
+            const std::uint64_t r = rows_.begin + step_;
+            if (r >= rows_.end) {
+                finish();
+                return;
+            }
+            for (std::uint64_t c = 0; c < row_bytes; c += 64) {
+                emit(Op::compute(110));
+                emit(Op::load(arr(0) + r * row_bytes + c, 30));
+                emit(Op::load(arr(1) + r * row_bytes + c, 30));
+                emit(Op::load(arr(2) + r * row_bytes + c, 30));
+                emit(Op::store(arr(0) + r * row_bytes + c));
+            }
+            ++step_;
+            return;
+        }
+
+        // Column sweep: stride-g accesses touch one line per element
+        // and walk through every thread's row partition (cross-thread
+        // sharing + poor locality).
+        const std::uint64_t c = cols_.begin + step_;
+        if (c >= cols_.end) {
+            finish();
+            return;
+        }
+        for (std::uint64_t r = 0; r < g_; r += 8) {
+            emit(Op::compute(60));
+            emit(Op::load(arr(0) + (r * g_ + c) * kCell, 16));
+            emit(Op::store(arr(1) + (r * g_ + c) * kCell));
+        }
+        ++step_;
+    }
+
+  private:
+    Addr arr(int a) const
+    {
+        return kDataBase +
+               static_cast<std::uint64_t>(a) * g_ * g_ * kCell;
+    }
+
+    std::uint64_t g_;
+    int phase_;
+    Partition rows_;
+    Partition cols_;
+    bool rowPhase_;
+    std::uint64_t step_ = 0;
+};
+
+} // namespace
+
+TomcatvWorkload::TomcatvWorkload(int scale)
+    : grid_(static_cast<std::uint64_t>(256) * scale)
+{
+}
+
+std::string
+TomcatvWorkload::phaseName(int p) const
+{
+    if (p == 0)
+        return "init";
+    return (p - 1) % 2 == 0 ? "row-sweep" : "col-sweep";
+}
+
+std::unique_ptr<OpStream>
+TomcatvWorkload::makeStream(int phase, ThreadId tid,
+                            int num_threads) const
+{
+    return std::make_unique<TomcatvStream>(grid_, phase, tid,
+                                           num_threads);
+}
+
+std::uint64_t
+TomcatvWorkload::footprintBytes() const
+{
+    return kArrays * grid_ * grid_ * kCell;
+}
+
+} // namespace pimdsm

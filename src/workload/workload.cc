@@ -1,0 +1,95 @@
+#include "workload/workload.hh"
+
+#include "sim/log.hh"
+#include "workload/apps.hh"
+
+namespace pimdsm
+{
+
+Op
+Op::compute(std::uint64_t instrs)
+{
+    Op op;
+    op.kind = Kind::Compute;
+    op.count = instrs;
+    return op;
+}
+
+Op
+Op::load(Addr a, int use_dist)
+{
+    Op op;
+    op.kind = Kind::Load;
+    op.addr = a;
+    op.useDist = use_dist;
+    return op;
+}
+
+Op
+Op::store(Addr a)
+{
+    Op op;
+    op.kind = Kind::Store;
+    op.addr = a;
+    return op;
+}
+
+Op
+Op::barrier(Addr a)
+{
+    Op op;
+    op.kind = Kind::Barrier;
+    op.addr = a;
+    return op;
+}
+
+Op
+Op::lock(Addr a)
+{
+    Op op;
+    op.kind = Kind::Lock;
+    op.addr = a;
+    return op;
+}
+
+Op
+Op::unlock(Addr a)
+{
+    Op op;
+    op.kind = Kind::Unlock;
+    op.addr = a;
+    return op;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, int scale)
+{
+    if (scale < 1)
+        fatal("workload scale must be >= 1");
+    if (name == "fft")
+        return std::make_unique<FftWorkload>(scale);
+    if (name == "radix")
+        return std::make_unique<RadixWorkload>(scale);
+    if (name == "ocean")
+        return std::make_unique<OceanWorkload>(scale);
+    if (name == "barnes")
+        return std::make_unique<BarnesWorkload>(scale);
+    if (name == "swim")
+        return std::make_unique<SwimWorkload>(scale);
+    if (name == "tomcatv")
+        return std::make_unique<TomcatvWorkload>(scale);
+    if (name == "dbase")
+        return std::make_unique<DbaseWorkload>(scale);
+    fatal("unknown workload: " + name);
+}
+
+const std::vector<std::string> &
+paperWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "fft", "radix", "ocean", "barnes", "swim", "tomcatv", "dbase",
+    };
+    return names;
+}
+
+} // namespace pimdsm

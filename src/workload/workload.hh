@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Workload framework: deterministic per-thread operation streams that
+ * reproduce the memory behaviour of the paper's applications (Table 3).
+ *
+ * Each workload is a sequence of phases; within a phase every thread
+ * pulls Ops from its own OpStream. See DESIGN.md section 5 for the
+ * substitution rationale (synthetic generators in place of MINT-driven
+ * binaries).
+ */
+
+#ifndef PIMDSM_WORKLOAD_WORKLOAD_HH
+#define PIMDSM_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+/** Base virtual address of workload data (below is sync space). */
+constexpr Addr kDataBase = 1ull << 20;
+
+/** Barrier/lock addresses live in [0, kDataBase). */
+constexpr Addr kSyncBase = 4096;
+
+struct Op
+{
+    enum class Kind : std::uint8_t
+    {
+        Compute, ///< count instructions of pure computation
+        Load,    ///< load from addr, first used useDist instrs later
+        Store,   ///< store to addr (drains through the write buffer)
+        Barrier, ///< global barrier identified by addr
+        Lock,    ///< acquire the lock at addr
+        Unlock,  ///< release the lock at addr
+        Cim,     ///< offload a scan to D-node cimNode (Section 2.4)
+        End,     ///< stream exhausted
+    };
+
+    Kind kind = Kind::End;
+    std::uint64_t count = 0;
+    Addr addr = 0;
+    int useDist = 16;
+    std::uint64_t cimRecords = 0;
+    std::uint64_t cimMatches = 0;
+    NodeId cimNode = kInvalidNode;
+
+    static Op compute(std::uint64_t instrs);
+    static Op load(Addr a, int use_dist = 16);
+    static Op store(Addr a);
+    static Op barrier(Addr a);
+    static Op lock(Addr a);
+    static Op unlock(Addr a);
+};
+
+/** Pull-based op generator; implementations must be deterministic. */
+class OpStream
+{
+  public:
+    virtual ~OpStream() = default;
+
+    /** Produce the next op. @retval false when the stream is done. */
+    virtual bool next(Op &op) = 0;
+};
+
+/** A materialized stream (tests and simple generators). */
+class VectorStream : public OpStream
+{
+  public:
+    explicit VectorStream(std::vector<Op> ops) : ops_(std::move(ops)) {}
+
+    bool
+    next(Op &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<Op> ops_;
+    std::size_t pos_ = 0;
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Phases run back to back with a global join between them. */
+    virtual int numPhases() const { return 1; }
+    virtual std::string phaseName(int) const { return "main"; }
+
+    /** Op stream for one thread in one phase. */
+    virtual std::unique_ptr<OpStream>
+    makeStream(int phase, ThreadId tid, int num_threads) const = 0;
+
+    /** Bytes of shared data touched (sizes the machine's DRAM). */
+    virtual std::uint64_t footprintBytes() const = 0;
+
+    /** Per-application cache sizes (Table 3). */
+    virtual std::uint64_t l1Bytes() const { return 8 * 1024; }
+    virtual std::uint64_t l2Bytes() const { return 32 * 1024; }
+};
+
+/** Instantiate a paper workload by name (fft, radix, ocean, barnes,
+ *  swim, tomcatv, dbase); scale >= 1 multiplies the problem size. */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       int scale = 1);
+
+/** All seven paper workload names, in Table 3 order. */
+const std::vector<std::string> &paperWorkloadNames();
+
+} // namespace pimdsm
+
+#endif // PIMDSM_WORKLOAD_WORKLOAD_HH

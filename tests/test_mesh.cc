@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Tests for the wormhole 2D mesh: routing distances, unloaded latency
+ * composition, link contention serialization, and delivery.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/mesh.hh"
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+NetParams
+testNet()
+{
+    NetParams p;
+    p.meshX = 4;
+    p.meshY = 4;
+    p.linkBytesPerTick = 2;
+    p.routerLatency = 4;
+    p.wireLatency = 1;
+    p.niLatency = 8;
+    p.headerBytes = 16;
+    return p;
+}
+
+TEST(Mesh, ManhattanHops)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    EXPECT_EQ(mesh.hops(0, 0), 0);
+    EXPECT_EQ(mesh.hops(0, 3), 3);   // same row
+    EXPECT_EQ(mesh.hops(0, 12), 3);  // same column
+    EXPECT_EQ(mesh.hops(0, 15), 6);  // corner to corner
+    EXPECT_EQ(mesh.hops(5, 10), 2);
+}
+
+TEST(Mesh, UnloadedLatencyComposition)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    // 0 -> 3: 3 hops * (4+1) + 2*8 NI + ser(16/2=8) = 15+16+8 = 39.
+    EXPECT_EQ(mesh.unloadedLatency(0, 3, 0), 39u);
+    // Payload adds serialization: (16+128)/2 = 72.
+    EXPECT_EQ(mesh.unloadedLatency(0, 3, 128), 15u + 16u + 72u);
+    // Self-send: just NI + serialization.
+    EXPECT_EQ(mesh.unloadedLatency(5, 5, 0), 24u);
+}
+
+TEST(Mesh, DeliveryMatchesUnloadedLatencyWhenIdle)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    Tick delivered = 0;
+    mesh.send(0, 15, 128, [&] { delivered = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(delivered, mesh.unloadedLatency(0, 15, 128));
+}
+
+TEST(Mesh, ContentionSerializesSharedLink)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    // Two messages from 0 to 1 compete for the same eastward link.
+    Tick t1 = 0, t2 = 0;
+    mesh.send(0, 1, 128, [&] { t1 = eq.curTick(); });
+    mesh.send(0, 1, 128, [&] { t2 = eq.curTick(); });
+    eq.run();
+    const Tick ser = (16 + 128) / 2;
+    EXPECT_EQ(t2 - t1, ser); // second waits a full serialization time
+}
+
+TEST(Mesh, DisjointPathsDoNotInterfere)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    Tick t1 = 0, t2 = 0;
+    mesh.send(0, 1, 128, [&] { t1 = eq.curTick(); });
+    mesh.send(4, 5, 128, [&] { t2 = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, mesh.unloadedLatency(0, 1, 128));
+}
+
+TEST(Mesh, StatsAccumulate)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    mesh.send(0, 5, 64, [] {});
+    mesh.send(3, 9, 0, [] {});
+    eq.run();
+    EXPECT_EQ(mesh.messagesSent(), 2u);
+    EXPECT_EQ(mesh.bytesSent(), 64u + 16 + 16);
+    EXPECT_GT(mesh.totalLinkBusy(), 0u);
+}
+
+TEST(Mesh, OutOfRangeNodePanics)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    EXPECT_THROW(mesh.send(0, 99, 0, [] {}), PanicError);
+}
+
+TEST(Mesh, AverageUnloadedLatencyIsSane)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    const Tick avg = mesh.averageUnloadedLatency(0);
+    EXPECT_GT(avg, mesh.unloadedLatency(0, 1, 0) / 2);
+    EXPECT_LT(avg, mesh.unloadedLatency(0, 15, 0));
+}
+
+TEST(Mesh, PlacementPermutationMovesNodes)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    // Identity: nodes 0 and 1 are adjacent.
+    EXPECT_EQ(mesh.hops(0, 1), 1);
+    // Swap node 1 to the far corner.
+    std::vector<int> placement(16);
+    for (int i = 0; i < 16; ++i)
+        placement[i] = i;
+    std::swap(placement[1], placement[15]);
+    mesh.setPlacement(placement);
+    EXPECT_EQ(mesh.hops(0, 1), 6);
+    EXPECT_EQ(mesh.hops(0, 15), 1);
+
+    // Delivery still works under the permutation.
+    Tick t = 0;
+    mesh.send(0, 1, 0, [&] { t = eq.curTick(); });
+    eq.run();
+    EXPECT_EQ(t, mesh.unloadedLatency(0, 1, 0));
+}
+
+TEST(Mesh, PlacementMustCoverEveryNode)
+{
+    EventQueue eq;
+    Mesh mesh(eq, testNet(), 16);
+    EXPECT_THROW(mesh.setPlacement({0, 1, 2}), FatalError);
+    std::vector<int> dup(16, 0); // node 1.. missing
+    EXPECT_THROW(mesh.setPlacement(dup), FatalError);
+}
+
+TEST(Mesh, WiderLinksShortenSerialization)
+{
+    EventQueue eq;
+    NetParams wide = testNet();
+    wide.linkBytesPerTick = 4;
+    Mesh narrow(eq, testNet(), 16);
+    Mesh fat(eq, wide, 16);
+    EXPECT_GT(narrow.unloadedLatency(0, 3, 128),
+              fat.unloadedLatency(0, 3, 128));
+}
+
+} // namespace
+} // namespace pimdsm

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Directed coherence-protocol tests on small machines: cold reads and
+ * mastership grants, sharing, invalidation, upgrades, forwards (2- and
+ * 3-hop), writebacks, SharedList reuse, COMA mastership transfer and
+ * injection, NUMA locality.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine.hh"
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+MachineConfig
+smallCfg(ArchKind arch, int p, int d)
+{
+    MachineConfig cfg = makeBaseConfig(arch);
+    cfg.numPNodes = p;
+    cfg.numThreads = p;
+    cfg.numDNodes = arch == ArchKind::Agg ? d : 0;
+    cfg.pNodeMemBytes = 64 * 1024;
+    cfg.dNodeMemBytes = 64 * 1024;
+    cfg.l1 = CacheParams{1024, 1, 64, 3};
+    cfg.l2 = CacheParams{4096, 1, 64, 6};
+    fitMesh(cfg.net, cfg.totalNodes());
+    cfg.validate();
+    return cfg;
+}
+
+struct Tracker
+{
+    bool done = false;
+    Tick when = 0;
+    ReadService svc = ReadService::FLC;
+
+    ComputeBase::CompletionFn
+    fn()
+    {
+        return [this](Tick t, ReadService s) {
+            done = true;
+            when = t;
+            svc = s;
+        };
+    }
+};
+
+/** Issue one access and run to completion. */
+Tracker
+doAccess(Machine &m, NodeId n, Addr a, bool write)
+{
+    Tracker t;
+    m.compute(n)->access(a, write, t.fn());
+    m.eq().run();
+    EXPECT_TRUE(t.done);
+    return t;
+}
+
+const Addr kA = kInvalidAddr; // unused marker
+constexpr Addr kLine = 1ull << 20;
+
+// ---------------------------------------------------------------- AGG
+
+TEST(AggProtocol, ColdReadGrantsMastershipAndLinksSharedList)
+{
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    (void)kA;
+    auto t = doAccess(m, 0, kLine, false);
+    EXPECT_EQ(t.svc, ReadService::Hop2);
+
+    auto *p0 = static_cast<CachedMemCompute *>(m.compute(0));
+    EXPECT_EQ(p0->peekState(kLine), CohState::SharedMaster);
+
+    auto *home = static_cast<AggDNodeHome *>(m.home(2));
+    const DirEntry *e = home->directory().find(kLine);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->state, DirEntry::State::Shared);
+    EXPECT_TRUE(e->masterOut);
+    EXPECT_EQ(e->owner, 0);
+    EXPECT_TRUE(e->homeHasData);
+    EXPECT_EQ(home->store().sharedLen(), 1u);
+    EXPECT_FALSE(e->busy);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, SecondReaderGetsPlainShared)
+{
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    doAccess(m, 0, kLine, false);
+    doAccess(m, 1, kLine, false);
+    auto *p1 = static_cast<CachedMemCompute *>(m.compute(1));
+    EXPECT_EQ(p1->peekState(kLine), CohState::Shared);
+    const DirEntry *e = m.home(2)->directory().find(kLine);
+    EXPECT_TRUE(e->isSharer(0));
+    EXPECT_TRUE(e->isSharer(1));
+    EXPECT_EQ(e->owner, 0); // master unchanged
+}
+
+TEST(AggProtocol, LocalMemoryHitAfterCaching)
+{
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    doAccess(m, 0, kLine, false);
+    // Evict from L1/L2 by touching conflicting lines, then re-access:
+    // the tagged local memory should serve it without the network.
+    auto *p0 = m.compute(0);
+    p0->l1().invalidateAll();
+    p0->l2().invalidateAll();
+    const auto msgs_before = m.messagesSent();
+    auto t = doAccess(m, 0, kLine, false);
+    EXPECT_EQ(t.svc, ReadService::LocalMem);
+    EXPECT_EQ(m.messagesSent(), msgs_before);
+}
+
+TEST(AggProtocol, WriteInvalidatesSharersAndFreesHomeSlot)
+{
+    Machine m(smallCfg(ArchKind::Agg, 3, 1));
+    doAccess(m, 0, kLine, false);
+    doAccess(m, 1, kLine, false);
+
+    auto *home = static_cast<AggDNodeHome *>(m.home(3));
+    const auto free_before = home->store().freeLen();
+    doAccess(m, 2, kLine, true);
+
+    auto *p0 = static_cast<CachedMemCompute *>(m.compute(0));
+    auto *p1 = static_cast<CachedMemCompute *>(m.compute(1));
+    auto *p2 = static_cast<CachedMemCompute *>(m.compute(2));
+    EXPECT_EQ(p0->peekState(kLine), CohState::Invalid);
+    EXPECT_EQ(p1->peekState(kLine), CohState::Invalid);
+    EXPECT_EQ(p2->peekState(kLine), CohState::Dirty);
+
+    const DirEntry *e = home->directory().find(kLine);
+    EXPECT_EQ(e->state, DirEntry::State::Dirty);
+    EXPECT_EQ(e->owner, 2);
+    EXPECT_FALSE(e->homeHasData);
+    // The dirty line keeps no home placeholder: slot reclaimed.
+    EXPECT_EQ(home->store().freeLen(), free_before + 1);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, ReadOfDirtyLineIsThreeHop)
+{
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    doAccess(m, 0, kLine, true);
+    auto t = doAccess(m, 1, kLine, false);
+    EXPECT_EQ(t.svc, ReadService::Hop3);
+
+    // Owner downgraded to SharedMaster; home regained a copy via the
+    // sharing writeback.
+    auto *p0 = static_cast<CachedMemCompute *>(m.compute(0));
+    EXPECT_EQ(p0->peekState(kLine), CohState::SharedMaster);
+    m.eq().run();
+    const DirEntry *e = m.home(2)->directory().find(kLine);
+    EXPECT_EQ(e->state, DirEntry::State::Shared);
+    EXPECT_TRUE(e->masterOut);
+    EXPECT_TRUE(e->homeHasData);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, WriteToDirtyLineForwardsExclusive)
+{
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    doAccess(m, 0, kLine, true);
+    auto t = doAccess(m, 1, kLine, true);
+    EXPECT_EQ(t.svc, ReadService::Hop3);
+    auto *p0 = static_cast<CachedMemCompute *>(m.compute(0));
+    auto *p1 = static_cast<CachedMemCompute *>(m.compute(1));
+    EXPECT_EQ(p0->peekState(kLine), CohState::Invalid);
+    EXPECT_EQ(p1->peekState(kLine), CohState::Dirty);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, UpgradeFromSharedIsDataless)
+{
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    doAccess(m, 0, kLine, false);
+    const auto v1 = m.latestVersion(kLine);
+    doAccess(m, 0, kLine, true); // SharedMaster -> Dirty upgrade
+    EXPECT_EQ(m.latestVersion(kLine), v1 + 1);
+    auto *p0 = static_cast<CachedMemCompute *>(m.compute(0));
+    EXPECT_EQ(p0->peekState(kLine), CohState::Dirty);
+    const DirEntry *e = m.home(2)->directory().find(kLine);
+    EXPECT_EQ(e->state, DirEntry::State::Dirty);
+    EXPECT_FALSE(e->masterOut);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, SequentialWritesBumpVersions)
+{
+    Machine m(smallCfg(ArchKind::Agg, 4, 2));
+    for (int round = 0; round < 3; ++round) {
+        for (NodeId n = 0; n < 4; ++n)
+            doAccess(m, n, kLine, true);
+    }
+    EXPECT_EQ(m.latestVersion(kLine), 12u);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, SharedListReuseCausesThreeHopRead)
+{
+    // A 1-entry... use a tiny D-node so SharedList reuse is forced.
+    MachineConfig cfg = smallCfg(ArchKind::Agg, 2, 1);
+    cfg.dNodeMemBytes = 4096; // ~26 data slots (128 B + 24 B metadata)
+    Machine m(cfg);
+    auto *home = static_cast<AggDNodeHome *>(m.home(2));
+    const auto slots = home->store().dataEntries();
+
+    // Node 0 cold-reads more lines than the D-node has slots: every
+    // read grants mastership, so every slot is reclaimable, and the
+    // store reuses SharedList entries once FreeList runs dry.
+    for (std::uint64_t i = 0; i < slots + 4; ++i)
+        doAccess(m, 0, kLine + i * 128, false);
+    EXPECT_GT(home->sharedListReuses(), 0u);
+
+    // The first line's home copy was dropped; its master is still
+    // node 0, so node 1's read is served by a 3-hop forward.
+    auto t = doAccess(m, 1, kLine, false);
+    EXPECT_EQ(t.svc, ReadService::Hop3);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, EvictionWritesBackOwnedLines)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Agg, 1, 1);
+    cfg.pNodeMemBytes = 4096; // 8 sets x 4 ways of 128 B
+    Machine m(cfg);
+    auto *home = static_cast<AggDNodeHome *>(m.home(1));
+
+    // Write 5 lines mapping to the same local-memory set.
+    const Addr stride = 8 * 128;
+    for (int i = 0; i < 5; ++i)
+        doAccess(m, 0, kLine + i * stride, true);
+    m.eq().run();
+
+    // One dirty line was displaced and written back home.
+    EXPECT_GE(m.compute(0)->writeBacksSent(), 1u);
+    EXPECT_GE(home->writeBacksServed(), 1u);
+    int dirty_at_home = 0;
+    home->directory().forEach([&](Addr, const DirEntry &e) {
+        if (e.state == DirEntry::State::Uncached && e.homeHasData)
+            ++dirty_at_home;
+    });
+    EXPECT_GE(dirty_at_home, 1);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, StaleSharerInvalIsAcked)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Agg, 2, 1);
+    cfg.pNodeMemBytes = 4096;
+    Machine m(cfg);
+    // Node 0 reads a line, then silently drops it through conflict
+    // evictions (shared non-master copies drop silently).
+    doAccess(m, 0, kLine, false);          // master
+    doAccess(m, 1, kLine, false);          // plain shared at node 1
+    const Addr stride = 8 * 128;
+    for (int i = 1; i < 6; ++i)
+        doAccess(m, 1, kLine + i * stride, false);
+    // Node 1 may or may not still hold the line; a write must complete
+    // either way (stale sharers ack invalidations).
+    auto t = doAccess(m, 0, kLine, true);
+    EXPECT_TRUE(t.done);
+    m.checkInvariants();
+}
+
+// --------------------------------------------------------------- NUMA
+
+TEST(NumaProtocol, LocalCleanReadAvoidsNetwork)
+{
+    Machine m(smallCfg(ArchKind::Numa, 2, 0));
+    auto t = doAccess(m, 0, kLine, false); // first touch: home = node 0
+    EXPECT_EQ(t.svc, ReadService::LocalMem);
+    // Uncontended local read lands near the Table 1 value (37/57).
+    EXPECT_LE(t.when, 90u);
+    EXPECT_EQ(m.messagesSent(), 0u); // self-sends bypass the mesh
+}
+
+TEST(NumaProtocol, NoMastershipGrants)
+{
+    Machine m(smallCfg(ArchKind::Numa, 2, 0));
+    doAccess(m, 0, kLine, false);
+    const DirEntry *e = m.home(0)->directory().find(kLine);
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(e->masterOut);
+    EXPECT_TRUE(e->homeHasData);
+}
+
+TEST(NumaProtocol, RemoteReadIsTwoHop)
+{
+    Machine m(smallCfg(ArchKind::Numa, 2, 0));
+    doAccess(m, 0, kLine, false); // home at node 0
+    auto t = doAccess(m, 1, kLine, false);
+    EXPECT_EQ(t.svc, ReadService::Hop2);
+}
+
+TEST(NumaProtocol, RemoteDirtyReadIsThreeHop)
+{
+    Machine m(smallCfg(ArchKind::Numa, 3, 0));
+    doAccess(m, 0, kLine, false); // home at 0
+    doAccess(m, 1, kLine, true);  // dirty at 1
+    auto t = doAccess(m, 2, kLine, false);
+    EXPECT_EQ(t.svc, ReadService::Hop3);
+    // Owner downgraded to plain Shared (no master state in NUMA).
+    m.eq().run();
+    const DirEntry *e = m.home(0)->directory().find(kLine);
+    EXPECT_EQ(e->state, DirEntry::State::Shared);
+    EXPECT_FALSE(e->masterOut);
+    EXPECT_TRUE(e->homeHasData); // sharing writeback restored memory
+    m.checkInvariants();
+}
+
+TEST(NumaProtocol, DirtyEvictionWritesBackToHome)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Numa, 2, 0);
+    Machine m(cfg);
+    doAccess(m, 1, kLine, true); // home at node 1... first touch
+    // Write many conflicting lines at node 1 to evict the first.
+    // L2 is 4 KB of 128 B lines = 32 entries, direct mapped.
+    for (int i = 1; i <= 33; ++i)
+        doAccess(m, 1, kLine + i * 4096, true);
+    m.eq().run();
+    EXPECT_GE(m.compute(1)->writeBacksSent(), 1u);
+    m.checkInvariants();
+}
+
+// --------------------------------------------------------------- COMA
+
+TEST(ComaProtocol, ColdReadMaterializesMasterAtRequester)
+{
+    Machine m(smallCfg(ArchKind::Coma, 2, 0));
+    doAccess(m, 1, kLine, false); // home = first toucher = node 1
+    auto *am1 = static_cast<CachedMemCompute *>(m.compute(1));
+    EXPECT_EQ(am1->peekState(kLine), CohState::SharedMaster);
+    const DirEntry *e = m.home(1)->directory().find(kLine);
+    EXPECT_TRUE(e->masterOut);
+    EXPECT_EQ(e->owner, 1);
+    EXPECT_FALSE(e->homeHasData); // COMA homes never back lines
+}
+
+TEST(ComaProtocol, HomeNodeAttractionMemoryServesTwoHop)
+{
+    Machine m(smallCfg(ArchKind::Coma, 3, 0));
+    doAccess(m, 0, kLine, false); // home + master at node 0
+    auto t = doAccess(m, 1, kLine, false);
+    EXPECT_EQ(t.svc, ReadService::Hop2); // home's own AM supplied data
+    m.checkInvariants();
+}
+
+TEST(ComaProtocol, MasterEvictionTransfersMastershipToSharer)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Coma, 3, 0);
+    cfg.pNodeMemBytes = 4096;
+    Machine m(cfg);
+    doAccess(m, 0, kLine, false); // home/master at 0
+    doAccess(m, 1, kLine, false); // sharer at 1
+    // Evict the master copy at node 0 with conflicting reads.
+    const Addr stride = 8 * 128;
+    for (int i = 1; i < 8; ++i)
+        doAccess(m, 0, kLine + i * stride, false);
+    m.eq().run();
+
+    auto *home = static_cast<ComaHome *>(m.home(0));
+    const DirEntry *e = home->directory().find(kLine);
+    // Mastership must survive somewhere (grant to sharer 1, or via
+    // injection if the grant raced with a silent drop).
+    EXPECT_TRUE(e->masterOut || e->state == DirEntry::State::Dirty ||
+                e->pagedOut);
+    m.checkInvariants();
+}
+
+TEST(ComaProtocol, DirtyEvictionInjectsToProvider)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Coma, 3, 0);
+    cfg.pNodeMemBytes = 4096;
+    Machine m(cfg);
+    doAccess(m, 0, kLine, true); // dirty at 0 (sole copy)
+    const Addr stride = 8 * 128;
+    for (int i = 1; i < 8; ++i)
+        doAccess(m, 0, kLine + i * stride, true);
+    m.eq().run();
+
+    auto *home = static_cast<ComaHome *>(m.home(0));
+    EXPECT_GE(home->injectionsStarted(), 1u);
+    // The first line must still be readable with its data intact.
+    auto t = doAccess(m, 1, kLine, false);
+    EXPECT_TRUE(t.done);
+    m.checkInvariants();
+}
+
+TEST(ComaProtocol, WriteInvalidatesAllCopies)
+{
+    Machine m(smallCfg(ArchKind::Coma, 4, 0));
+    doAccess(m, 0, kLine, false);
+    doAccess(m, 1, kLine, false);
+    doAccess(m, 2, kLine, false);
+    doAccess(m, 3, kLine, true);
+    for (NodeId n = 0; n < 3; ++n) {
+        auto *am = static_cast<CachedMemCompute *>(m.compute(n));
+        EXPECT_EQ(am->peekState(kLine), CohState::Invalid) << n;
+    }
+    auto *am3 = static_cast<CachedMemCompute *>(m.compute(3));
+    EXPECT_EQ(am3->peekState(kLine), CohState::Dirty);
+    m.checkInvariants();
+}
+
+TEST(AggProtocol, SimpleReadsDoNotBlockOrAcknowledge)
+{
+    // A home-served read involves no third party: the home unblocks
+    // immediately and the requester sends no TxnDone. Message economy:
+    // exactly ReadReq + ReadReply cross the mesh.
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    doAccess(m, 0, kLine, false);
+    const auto after_first = m.messagesSent();
+    EXPECT_EQ(after_first, 2u);
+
+    // A second reader: again two messages, and the home was never
+    // left blocked in between (the access would deadlock otherwise).
+    doAccess(m, 1, kLine, false);
+    EXPECT_EQ(m.messagesSent(), after_first + 2);
+}
+
+TEST(AggProtocol, ForwardedTransactionsDoAcknowledge)
+{
+    // A 3-hop read must close with the requester's TxnDone: ReadReq,
+    // Fwd, FwdReply, OwnerToHome (sharing wb), WriteBackAck-free, and
+    // the TxnDone — at least five mesh messages beyond the write's.
+    Machine m(smallCfg(ArchKind::Agg, 2, 1));
+    doAccess(m, 0, kLine, true);
+    const auto after_write = m.messagesSent();
+    doAccess(m, 1, kLine, false);
+    m.eq().run();
+    EXPECT_GE(m.messagesSent(), after_write + 5);
+
+    // The home line must be unblocked again (a follow-up request
+    // completes rather than queueing forever).
+    doAccess(m, 0, kLine, true);
+    m.checkInvariants();
+}
+
+// ------------------------------------------------------------- common
+
+class EveryArch : public ::testing::TestWithParam<ArchKind>
+{
+};
+
+TEST_P(EveryArch, ReadAfterRemoteWriteSeesLatestVersion)
+{
+    const ArchKind arch = GetParam();
+    const int d = arch == ArchKind::Agg ? 2 : 0;
+    Machine m(smallCfg(arch, 4, d));
+    // Ping-pong writes then a read from a fourth node; the version
+    // check inside finishAccess() panics on staleness.
+    for (int round = 0; round < 4; ++round) {
+        doAccess(m, round % 3, kLine, true);
+        doAccess(m, 3, kLine, false);
+    }
+    m.checkInvariants();
+}
+
+TEST_P(EveryArch, ManyLinesManyNodes)
+{
+    const ArchKind arch = GetParam();
+    const int d = arch == ArchKind::Agg ? 2 : 0;
+    Machine m(smallCfg(arch, 4, d));
+    for (int i = 0; i < 32; ++i) {
+        const Addr a = kLine + i * 128;
+        doAccess(m, i % 4, a, true);
+        doAccess(m, (i + 1) % 4, a, false);
+        doAccess(m, (i + 2) % 4, a, false);
+    }
+    m.checkInvariants();
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, EveryArch,
+                         ::testing::Values(ArchKind::Agg,
+                                           ArchKind::Numa,
+                                           ArchKind::Coma),
+                         [](const auto &info) {
+                             return archName(info.param);
+                         });
+
+} // namespace
+} // namespace pimdsm

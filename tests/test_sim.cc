@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: event queue ordering,
+ * resources, deterministic RNG, configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsMayScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        eq.scheduleIn(4, [&] {
+            ++fired;
+            eq.scheduleIn(1, [&] { ++fired; });
+        });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(eq.curTick(), 6u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.runOne();
+    EXPECT_THROW(eq.schedule(5, [] {}), PanicError);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] { ++fired; });
+    eq.schedule(20, [&] { ++fired; });
+    eq.runUntil(15);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.curTick(), 15u);
+    eq.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunWithBudgetStops)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    EXPECT_EQ(eq.run(3), 3u);
+    EXPECT_EQ(eq.pending(), 2u);
+}
+
+TEST(Resource, BackToBackOccupancy)
+{
+    Resource r;
+    EXPECT_EQ(r.acquire(100, 10), 100u);
+    EXPECT_EQ(r.acquire(100, 10), 110u); // queued behind the first
+    EXPECT_EQ(r.acquire(200, 5), 200u);  // idle gap
+    EXPECT_EQ(r.busyTicks(), 25u);
+    EXPECT_EQ(r.acquisitions(), 3u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(r.nextBounded(17), 17u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = r.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Types, AddressHelpers)
+{
+    EXPECT_EQ(blockAlign(0x12345, 64), 0x12340u);
+    EXPECT_EQ(blockAlign(0x12380, 128), 0x12380u);
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(96));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_EQ(log2i(128), 7);
+    EXPECT_EQ(ceilDiv(130, 64), 3u);
+}
+
+TEST(Config, BaseConfigsValidate)
+{
+    for (ArchKind arch :
+         {ArchKind::Numa, ArchKind::Coma, ArchKind::Agg}) {
+        MachineConfig cfg = makeBaseConfig(arch);
+        EXPECT_NO_THROW(cfg.validate()) << archName(arch);
+    }
+}
+
+TEST(Config, NumaComaGetDoubleLinks)
+{
+    EXPECT_EQ(makeBaseConfig(ArchKind::Agg).net.linkBytesPerTick, 2);
+    EXPECT_EQ(makeBaseConfig(ArchKind::Numa).net.linkBytesPerTick, 4);
+    EXPECT_EQ(makeBaseConfig(ArchKind::Coma).net.linkBytesPerTick, 4);
+}
+
+TEST(Config, MemoryPressureSizesDram)
+{
+    MachineConfig cfg = makeBaseConfig(ArchKind::Agg);
+    applyMemoryPressure(cfg, 64ull << 20, 0.5);
+    // Total DRAM should be ~footprint/pressure = 128 MB, split evenly
+    // between P memory and D memory.
+    const double total = static_cast<double>(cfg.totalDramBytes());
+    EXPECT_NEAR(total, 128.0 * (1 << 20), 64.0 * 4096 * 2);
+    EXPECT_NEAR(static_cast<double>(cfg.pNodeMemBytes) * 32,
+                64.0 * (1 << 20), 32.0 * 4096);
+}
+
+TEST(Config, NumaGetsAllDramInPNodes)
+{
+    MachineConfig cfg = makeBaseConfig(ArchKind::Numa);
+    applyMemoryPressure(cfg, 64ull << 20, 0.5);
+    EXPECT_EQ(cfg.dNodeMemBytes, 0u);
+    EXPECT_NEAR(static_cast<double>(cfg.pNodeMemBytes) * 32,
+                128.0 * (1 << 20), 32.0 * 4096);
+}
+
+TEST(Config, InvalidConfigsAreFatal)
+{
+    MachineConfig cfg = makeBaseConfig(ArchKind::Agg);
+    cfg.numThreads = 7; // != numPNodes
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = makeBaseConfig(ArchKind::Numa);
+    cfg.numDNodes = 4;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = makeBaseConfig(ArchKind::Agg);
+    cfg.mem.lineBytes = 96;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = makeBaseConfig(ArchKind::Agg);
+    cfg.l2.lineBytes = 256; // larger than the memory line
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    EXPECT_THROW(applyMemoryPressure(cfg, 0, 0.5), FatalError);
+    EXPECT_THROW(applyMemoryPressure(cfg, 1024, 1.5), FatalError);
+}
+
+TEST(Stats, StatSetBasics)
+{
+    StatSet s;
+    s.add("x");
+    s.add("x", 2.5);
+    s.set("y", 7);
+    EXPECT_DOUBLE_EQ(s.get("x"), 3.5);
+    EXPECT_DOUBLE_EQ(s.get("y"), 7.0);
+    EXPECT_DOUBLE_EQ(s.get("absent"), 0.0);
+}
+
+TEST(Stats, ReadLatencyAccumulates)
+{
+    ReadLatencyStats r;
+    r.record(ReadService::FLC, 3);
+    r.record(ReadService::FLC, 3);
+    r.record(ReadService::Hop2, 300);
+    EXPECT_EQ(r.count[0], 2u);
+    EXPECT_EQ(r.totalAllCount(), 3u);
+    EXPECT_EQ(r.totalAllLatency(), 306u);
+
+    ReadLatencyStats other;
+    other.record(ReadService::Hop3, 400);
+    r += other;
+    EXPECT_EQ(r.totalAllLatency(), 706u);
+}
+
+TEST(Stats, TimeBreakdownSums)
+{
+    TimeBreakdown t;
+    t.busy = 100;
+    t.sync = 20;
+    t.memoryStall = 80;
+    EXPECT_EQ(t.total(), 200u);
+    EXPECT_EQ(t.processorTime(), 120u);
+}
+
+TEST(Log, PanicAndFatalThrow)
+{
+    EXPECT_THROW(panic("boom"), PanicError);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+} // namespace
+} // namespace pimdsm

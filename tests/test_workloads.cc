@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Workload generator tests: determinism, address-range containment,
+ * instruction/op sanity, phase structure — parameterized over all
+ * seven applications (TEST_P property sweep).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/log.hh"
+#include "workload/apps.hh"
+#include "workload/workload.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+std::vector<Op>
+drain(OpStream &s, std::size_t cap = 5'000'000)
+{
+    std::vector<Op> ops;
+    Op op;
+    while (s.next(op)) {
+        ops.push_back(op);
+        if (ops.size() > cap)
+            ADD_FAILURE() << "stream did not terminate";
+    }
+    return ops;
+}
+
+class EveryWorkload : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    std::unique_ptr<Workload> wl_ = makeWorkload(GetParam(), 1);
+};
+
+TEST_P(EveryWorkload, StreamsAreDeterministic)
+{
+    const int threads = 4;
+    for (int phase = 0; phase < wl_->numPhases(); ++phase) {
+        auto s1 = wl_->makeStream(phase, 1, threads);
+        auto s2 = wl_->makeStream(phase, 1, threads);
+        Op a, b;
+        int n = 0;
+        while (true) {
+            const bool ha = s1->next(a);
+            const bool hb = s2->next(b);
+            ASSERT_EQ(ha, hb) << "phase " << phase;
+            if (!ha)
+                break;
+            ASSERT_EQ(a.kind, b.kind);
+            ASSERT_EQ(a.addr, b.addr);
+            ASSERT_EQ(a.count, b.count);
+            if (++n > 200000)
+                break; // long streams: prefix equality is enough
+        }
+    }
+}
+
+TEST_P(EveryWorkload, AddressesStayInFootprint)
+{
+    const int threads = 4;
+    const Addr hi = kDataBase + wl_->footprintBytes() +
+                    (4ull << 20); // slack for rounded regions
+    for (int phase = 0; phase < wl_->numPhases(); ++phase) {
+        for (ThreadId t = 0; t < threads; ++t) {
+            auto s = wl_->makeStream(phase, t, threads);
+            Op op;
+            int n = 0;
+            while (s->next(op) && n++ < 100000) {
+                switch (op.kind) {
+                  case Op::Kind::Load:
+                  case Op::Kind::Store:
+                    // Data accesses live in the data region, except
+                    // small shared reduction scalars co-located with
+                    // their lock in the sync region.
+                    ASSERT_GE(op.addr, kSyncBase);
+                    ASSERT_LT(op.addr, hi);
+                    break;
+                  case Op::Kind::Lock:
+                  case Op::Kind::Unlock:
+                  case Op::Kind::Barrier:
+                    ASSERT_GE(op.addr, kSyncBase);
+                    ASSERT_LT(op.addr, kDataBase);
+                    break;
+                  case Op::Kind::Cim:
+                    ASSERT_GE(op.addr, kDataBase);
+                    break;
+                  default:
+                    break;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(EveryWorkload, EveryPhaseEmitsWorkForEveryThread)
+{
+    const int threads = 4;
+    for (int phase = 0; phase < wl_->numPhases(); ++phase) {
+        for (ThreadId t = 0; t < threads; ++t) {
+            auto s = wl_->makeStream(phase, t, threads);
+            Op op;
+            ASSERT_TRUE(s->next(op))
+                << wl_->name() << " phase " << phase << " thread " << t;
+        }
+    }
+}
+
+TEST_P(EveryWorkload, LocksAreBalanced)
+{
+    const int threads = 4;
+    for (int phase = 0; phase < wl_->numPhases(); ++phase) {
+        for (ThreadId t = 0; t < threads; ++t) {
+            auto s = wl_->makeStream(phase, t, threads);
+            Op op;
+            std::map<Addr, int> held;
+            while (s->next(op)) {
+                if (op.kind == Op::Kind::Lock) {
+                    ASSERT_EQ(held[op.addr], 0) << "recursive lock";
+                    held[op.addr] = 1;
+                } else if (op.kind == Op::Kind::Unlock) {
+                    ASSERT_EQ(held[op.addr], 1) << "unlock w/o lock";
+                    held[op.addr] = 0;
+                }
+            }
+            for (auto &[a, h] : held)
+                ASSERT_EQ(h, 0) << "lock leaked";
+        }
+    }
+}
+
+TEST_P(EveryWorkload, FootprintIsPositiveAndScales)
+{
+    auto big = makeWorkload(GetParam(), 2);
+    EXPECT_GT(wl_->footprintBytes(), 1024u * 1024);
+    EXPECT_GT(big->footprintBytes(), wl_->footprintBytes());
+}
+
+TEST_P(EveryWorkload, InitPhaseWritesOwnPartitionOnly)
+{
+    // First-touch sanity: during init (phase 0) threads mostly store;
+    // distinct threads touch mostly disjoint lines.
+    const int threads = 4;
+    std::vector<std::set<Addr>> touched(threads);
+    for (ThreadId t = 0; t < threads; ++t) {
+        auto s = wl_->makeStream(0, t, threads);
+        Op op;
+        while (s->next(op)) {
+            if (op.kind == Op::Kind::Store)
+                touched[t].insert(blockAlign(op.addr, 128));
+        }
+        ASSERT_FALSE(touched[t].empty());
+    }
+    std::uint64_t overlap = 0, total = 0;
+    for (int a = 0; a < threads; ++a) {
+        total += touched[a].size();
+        for (int b = a + 1; b < threads; ++b) {
+            for (Addr x : touched[a])
+                overlap += touched[b].count(x);
+        }
+    }
+    EXPECT_LT(static_cast<double>(overlap), 0.02 * total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EveryWorkload,
+                         ::testing::ValuesIn(paperWorkloadNames()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadFactory, RejectsUnknownNames)
+{
+    EXPECT_THROW(makeWorkload("quake"), FatalError);
+    EXPECT_THROW(makeWorkload("fft", 0), FatalError);
+}
+
+TEST(WorkloadFactory, TableThreeCacheSizes)
+{
+    EXPECT_EQ(makeWorkload("fft")->l1Bytes(), 8u * 1024);
+    EXPECT_EQ(makeWorkload("fft")->l2Bytes(), 32u * 1024);
+    EXPECT_EQ(makeWorkload("swim")->l1Bytes(), 32u * 1024);
+    EXPECT_EQ(makeWorkload("swim")->l2Bytes(), 128u * 1024);
+    EXPECT_EQ(makeWorkload("tomcatv")->l1Bytes(), 64u * 1024);
+    EXPECT_EQ(makeWorkload("tomcatv")->l2Bytes(), 256u * 1024);
+    EXPECT_EQ(makeWorkload("dbase")->l1Bytes(), 64u * 1024);
+    EXPECT_EQ(makeWorkload("dbase")->l2Bytes(), 512u * 1024);
+}
+
+TEST(DbaseCim, CimStreamsContainOffloads)
+{
+    DbaseWorkload plain(1, false);
+    DbaseWorkload cim(1, true);
+    for (int phase : {1, 2}) {
+        auto sp = plain.makeStream(phase, 0, 4);
+        auto sc = cim.makeStream(phase, 0, 4);
+        auto count_kind = [](OpStream &s, Op::Kind k) {
+            Op op;
+            int n = 0;
+            while (s.next(op))
+                n += op.kind == k;
+            return n;
+        };
+        EXPECT_EQ(count_kind(*sp, Op::Kind::Cim), 0);
+        EXPECT_GT(count_kind(*sc, Op::Kind::Cim), 0);
+    }
+    // CIM drastically reduces the records the P-nodes touch.
+    auto sp = plain.makeStream(1, 0, 4);
+    auto sc = cim.makeStream(1, 0, 4);
+    const auto plain_loads = drain(*sp).size();
+    const auto cim_loads = drain(*sc).size();
+    EXPECT_LT(cim_loads, plain_loads);
+}
+
+TEST(FftShape, TransposeTouchesRemotePartitions)
+{
+    FftWorkload wl(1);
+    const int threads = 4;
+    // Thread 0's transpose must read lines initialized by others.
+    std::set<Addr> own;
+    {
+        auto s = wl.makeStream(0, 0, threads);
+        Op op;
+        while (s->next(op)) {
+            if (op.kind == Op::Kind::Store)
+                own.insert(blockAlign(op.addr, 128));
+        }
+    }
+    auto s = wl.makeStream(2, 0, threads);
+    Op op;
+    int remote_reads = 0;
+    while (s->next(op)) {
+        if (op.kind == Op::Kind::Load && !own.count(
+                                             blockAlign(op.addr, 128)))
+            ++remote_reads;
+    }
+    EXPECT_GT(remote_reads, 100);
+}
+
+} // namespace
+} // namespace pimdsm
