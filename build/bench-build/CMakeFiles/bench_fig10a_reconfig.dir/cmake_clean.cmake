@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10a_reconfig"
+  "../bench/bench_fig10a_reconfig.pdb"
+  "CMakeFiles/bench_fig10a_reconfig.dir/bench_fig10a_reconfig.cc.o"
+  "CMakeFiles/bench_fig10a_reconfig.dir/bench_fig10a_reconfig.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10b_cim"
+  "../bench/bench_fig10b_cim.pdb"
+  "CMakeFiles/bench_fig10b_cim.dir/bench_fig10b_cim.cc.o"
+  "CMakeFiles/bench_fig10b_cim.dir/bench_fig10b_cim.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

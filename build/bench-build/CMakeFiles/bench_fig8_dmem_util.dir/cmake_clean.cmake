@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_dmem_util"
+  "../bench/bench_fig8_dmem_util.pdb"
+  "CMakeFiles/bench_fig8_dmem_util.dir/bench_fig8_dmem_util.cc.o"
+  "CMakeFiles/bench_fig8_dmem_util.dir/bench_fig8_dmem_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_dmem_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_handlers"
+  "../bench/bench_table2_handlers.pdb"
+  "CMakeFiles/bench_table2_handlers.dir/bench_table2_handlers.cc.o"
+  "CMakeFiles/bench_table2_handlers.dir/bench_table2_handlers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbase_cim.dir/dbase_cim.cpp.o"
+  "CMakeFiles/dbase_cim.dir/dbase_cim.cpp.o.d"
+  "dbase_cim"
+  "dbase_cim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbase_cim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

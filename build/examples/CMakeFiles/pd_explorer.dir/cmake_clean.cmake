@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pd_explorer.dir/pd_explorer.cpp.o"
+  "CMakeFiles/pd_explorer.dir/pd_explorer.cpp.o.d"
+  "pd_explorer"
+  "pd_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pd_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pimdsm_run.dir/pimdsm_run.cpp.o"
+  "CMakeFiles/pimdsm_run.dir/pimdsm_run.cpp.o.d"
+  "pimdsm_run"
+  "pimdsm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pimdsm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

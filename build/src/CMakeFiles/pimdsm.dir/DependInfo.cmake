@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/processor.cc" "src/CMakeFiles/pimdsm.dir/core/processor.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/core/processor.cc.o.d"
+  "/root/repo/src/core/sync.cc" "src/CMakeFiles/pimdsm.dir/core/sync.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/core/sync.cc.o.d"
+  "/root/repo/src/core/write_buffer.cc" "src/CMakeFiles/pimdsm.dir/core/write_buffer.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/core/write_buffer.cc.o.d"
+  "/root/repo/src/machine/builder.cc" "src/CMakeFiles/pimdsm.dir/machine/builder.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/machine/builder.cc.o.d"
+  "/root/repo/src/machine/machine.cc" "src/CMakeFiles/pimdsm.dir/machine/machine.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/machine/machine.cc.o.d"
+  "/root/repo/src/machine/page_map.cc" "src/CMakeFiles/pimdsm.dir/machine/page_map.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/machine/page_map.cc.o.d"
+  "/root/repo/src/machine/reconfig.cc" "src/CMakeFiles/pimdsm.dir/machine/reconfig.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/machine/reconfig.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/pimdsm.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/cache_array.cc" "src/CMakeFiles/pimdsm.dir/mem/cache_array.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/mem/cache_array.cc.o.d"
+  "/root/repo/src/mem/plain_memory.cc" "src/CMakeFiles/pimdsm.dir/mem/plain_memory.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/mem/plain_memory.cc.o.d"
+  "/root/repo/src/mem/tagged_memory.cc" "src/CMakeFiles/pimdsm.dir/mem/tagged_memory.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/mem/tagged_memory.cc.o.d"
+  "/root/repo/src/net/mesh.cc" "src/CMakeFiles/pimdsm.dir/net/mesh.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/net/mesh.cc.o.d"
+  "/root/repo/src/proto/agg_dnode.cc" "src/CMakeFiles/pimdsm.dir/proto/agg_dnode.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/agg_dnode.cc.o.d"
+  "/root/repo/src/proto/agg_pnode.cc" "src/CMakeFiles/pimdsm.dir/proto/agg_pnode.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/agg_pnode.cc.o.d"
+  "/root/repo/src/proto/coma_node.cc" "src/CMakeFiles/pimdsm.dir/proto/coma_node.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/coma_node.cc.o.d"
+  "/root/repo/src/proto/compute_base.cc" "src/CMakeFiles/pimdsm.dir/proto/compute_base.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/compute_base.cc.o.d"
+  "/root/repo/src/proto/directory.cc" "src/CMakeFiles/pimdsm.dir/proto/directory.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/directory.cc.o.d"
+  "/root/repo/src/proto/home_base.cc" "src/CMakeFiles/pimdsm.dir/proto/home_base.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/home_base.cc.o.d"
+  "/root/repo/src/proto/message.cc" "src/CMakeFiles/pimdsm.dir/proto/message.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/message.cc.o.d"
+  "/root/repo/src/proto/numa_node.cc" "src/CMakeFiles/pimdsm.dir/proto/numa_node.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/proto/numa_node.cc.o.d"
+  "/root/repo/src/report/experiment.cc" "src/CMakeFiles/pimdsm.dir/report/experiment.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/report/experiment.cc.o.d"
+  "/root/repo/src/report/report.cc" "src/CMakeFiles/pimdsm.dir/report/report.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/report/report.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/pimdsm.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/pimdsm.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/pimdsm.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/random.cc" "src/CMakeFiles/pimdsm.dir/sim/random.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/sim/random.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/pimdsm.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/sim/stats.cc.o.d"
+  "/root/repo/src/workload/barnes.cc" "src/CMakeFiles/pimdsm.dir/workload/barnes.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/barnes.cc.o.d"
+  "/root/repo/src/workload/dbase.cc" "src/CMakeFiles/pimdsm.dir/workload/dbase.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/dbase.cc.o.d"
+  "/root/repo/src/workload/fft.cc" "src/CMakeFiles/pimdsm.dir/workload/fft.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/fft.cc.o.d"
+  "/root/repo/src/workload/ocean.cc" "src/CMakeFiles/pimdsm.dir/workload/ocean.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/ocean.cc.o.d"
+  "/root/repo/src/workload/radix.cc" "src/CMakeFiles/pimdsm.dir/workload/radix.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/radix.cc.o.d"
+  "/root/repo/src/workload/swim.cc" "src/CMakeFiles/pimdsm.dir/workload/swim.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/swim.cc.o.d"
+  "/root/repo/src/workload/tomcatv.cc" "src/CMakeFiles/pimdsm.dir/workload/tomcatv.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/tomcatv.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/pimdsm.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/pimdsm.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_calibration.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_calibration.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_calibration.cc.o.d"
+  "/root/repo/tests/test_coma.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_coma.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_coma.cc.o.d"
+  "/root/repo/tests/test_dnode_store.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_dnode_store.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_dnode_store.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_limited_dir.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_limited_dir.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_limited_dir.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_mem.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_mem.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_mem.cc.o.d"
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_mesh_ordering.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_mesh_ordering.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_mesh_ordering.cc.o.d"
+  "/root/repo/tests/test_paging.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_paging.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_paging.cc.o.d"
+  "/root/repo/tests/test_processor.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_processor.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_processor.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_protocol.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_protocol.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_protocol.cc.o.d"
+  "/root/repo/tests/test_reconfig.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_reconfig.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_reconfig.cc.o.d"
+  "/root/repo/tests/test_report.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_report.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_report.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_stress.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_stress.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_stress.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_workloads.cc.o.d"
+  "/root/repo/tests/test_write_buffer.cc" "tests/CMakeFiles/pimdsm_tests.dir/test_write_buffer.cc.o" "gcc" "tests/CMakeFiles/pimdsm_tests.dir/test_write_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pimdsm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
