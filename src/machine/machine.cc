@@ -1,5 +1,6 @@
 #include "machine/machine.hh"
 
+#include <sstream>
 #include <vector>
 
 #include "sim/log.hh"
@@ -15,6 +16,11 @@ Machine::Machine(const MachineConfig &cfg)
     roles_.resize(cfg_.totalNodes());
     computes_.resize(cfg_.totalNodes());
     homes_.resize(cfg_.totalNodes());
+    dead_.assign(cfg_.totalNodes(), 0);
+
+    faults_.init(cfg_.faults, &stats_);
+    if (faults_.active())
+        mesh_.setFaultPlan(&faults_);
 
     if (cfg_.arch == ArchKind::Agg)
         buildAgg();
@@ -98,7 +104,7 @@ Machine::computeNodes() const
 {
     std::vector<NodeId> result;
     for (NodeId n = 0; n < totalNodes(); ++n) {
-        if (isCompute(n) && computes_[n])
+        if (isCompute(n) && computes_[n] && !isDead(n))
             result.push_back(n);
     }
     return result;
@@ -109,10 +115,20 @@ Machine::directoryNodes() const
 {
     std::vector<NodeId> result;
     for (NodeId n = 0; n < totalNodes(); ++n) {
-        if (isDirectory(n) && homes_[n])
+        if (isDirectory(n) && homes_[n] && !isDead(n))
             result.push_back(n);
     }
     return result;
+}
+
+void
+Machine::markDead(NodeId n)
+{
+    if (n < 0 || n >= totalNodes())
+        panic("markDead: no such node");
+    dead_[n] = 1;
+    if (homes_[n])
+        homes_[n]->setDead(true);
 }
 
 NodeId
@@ -144,7 +160,19 @@ Machine::send(Message msg)
     if (msg.src == kInvalidNode || msg.dst == kInvalidNode)
         panic("message with unset endpoints: " + msg.toString());
 
+    // Fail-stop: a dead node emits nothing (events queued before the
+    // death still fire, so the send side must filter too).
+    if (isDead(msg.src)) {
+        stats_.add("fault.msg_from_dead");
+        return;
+    }
+
     auto deliver = [this, msg] {
+        if (isDead(msg.dst)) {
+            // Died while the message was in flight.
+            stats_.add("fault.msg_to_dead");
+            return;
+        }
         if (Trace::enabled("proto"))
             Trace::print(eq_.curTick(), "proto", msg.toString());
         if (msgBoundForHome(msg.type)) {
@@ -166,7 +194,7 @@ Machine::send(Message msg)
         return;
     }
     mesh_.send(msg.src, msg.dst, msg.payloadBytes(cfg_.mem.lineBytes),
-               std::move(deliver));
+               std::move(deliver), msgClassOf(msg.type));
 }
 
 std::uint64_t
@@ -174,7 +202,7 @@ Machine::computeNodeMask() const
 {
     std::uint64_t mask = 0;
     for (NodeId n = 0; n < totalNodes(); ++n) {
-        if (isCompute(n) && computes_[n])
+        if (isCompute(n) && computes_[n] && !isDead(n))
             mask |= 1ull << n;
     }
     return mask;
@@ -233,6 +261,32 @@ Machine::dumpState(std::ostream &os) const
                 });
         }
     }
+}
+
+std::string
+Machine::stuckDiagnostic() const
+{
+    std::ostringstream os;
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (computes_[n]) {
+            const std::string d = computes_[n]->describeOutstanding();
+            if (!d.empty())
+                os << d;
+        }
+        if (homes_[n]) {
+            homes_[n]->directory().forEach(
+                [&](Addr a, const DirEntry &e) {
+                    if (!e.busy && e.pending.empty())
+                        return;
+                    os << "  home " << n << (isDead(n) ? " (dead)" : "")
+                       << ": line 0x" << std::hex << a << std::dec
+                       << " busy=" << e.busy
+                       << " pending=" << e.pending.size()
+                       << " owner=" << e.owner << "\n";
+                });
+        }
+    }
+    return os.str();
 }
 
 void

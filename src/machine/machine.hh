@@ -14,6 +14,7 @@
 
 #include "machine/page_map.hh"
 #include "net/mesh.hh"
+#include "sim/fault.hh"
 #include "proto/agg_dnode.hh"
 #include "proto/agg_pnode.hh"
 #include "proto/coma_node.hh"
@@ -80,6 +81,21 @@ class Machine : public ProtoContext
 
     Mesh &mesh() { return mesh_; }
     PageMap &pageMap() { return pageMap_; }
+    FaultPlan &faultPlan() { return faults_; }
+
+    // --- fail-stop node deaths ---
+    bool isDead(NodeId n) const { return dead_[n] != 0; }
+    /** Fail-stop @p n: all traffic from/to it is dropped from now on
+     *  and its home controller ignores already-scheduled handlers. */
+    void markDead(NodeId n);
+    /** Revive @p n (reboot as a fresh node; state was already reset). */
+    void
+    clearDead(NodeId n)
+    {
+        dead_[n] = 0;
+        if (homes_[n])
+            homes_[n]->setDead(false);
+    }
 
     // --- analysis ---
     /** Figure 8 census over active directory nodes. */
@@ -93,6 +109,10 @@ class Machine : public ProtoContext
 
     /** Dump transient protocol state (deadlock diagnostics). */
     void dumpState(std::ostream &os) const;
+
+    /** Watchdog diagnostic: every stuck transaction by node and line
+     *  (compute MSHRs/writebacks + busy home lines). */
+    std::string stuckDiagnostic() const;
 
     std::uint64_t messagesSent() const { return mesh_.messagesSent(); }
 
@@ -110,6 +130,9 @@ class Machine : public ProtoContext
     std::unordered_map<Addr, Version> versions_;
     StatSet stats_;
     std::uint64_t nextDNode_ = 0;
+    FaultPlan faults_;
+    /** Fail-stopped nodes (vector<char>: avoid vector<bool>). */
+    std::vector<char> dead_;
 };
 
 } // namespace pimdsm

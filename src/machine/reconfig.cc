@@ -108,4 +108,108 @@ applyReconfig(Machine &m, int new_p, int new_d)
     return res;
 }
 
+FailoverResult
+failOverDNode(Machine &m, NodeId dead)
+{
+    const MachineConfig &cfg = m.config();
+    if (cfg.arch != ArchKind::Agg)
+        fatal("D-node failover requires an AGG machine");
+    if (dead < 0 || dead >= m.totalNodes() ||
+        m.role(dead) != NodeRole::Directory)
+        fatal("failOverDNode: not a directory node");
+    if (m.isDead(dead))
+        fatal("failOverDNode: node already dead");
+
+    // Fail-stop first: from this instant nothing leaves or reaches the
+    // node, and its already-scheduled handler events no-op.
+    m.markDead(dead);
+
+    const auto survivors = m.directoryNodes();
+    if (survivors.empty())
+        fatal("failOverDNode: no surviving directory node");
+
+    FailoverResult res;
+
+    // Re-home the dead node's pages round-robin on the survivors.
+    std::uint64_t rr = 0;
+    const auto pages = m.pageMap().pagesHomedAt(dead);
+    for (Addr page : pages)
+        m.pageMap().remap(page, survivors[rr++ % survivors.size()]);
+    res.pagesMoved = pages.size();
+
+    // Adopt the directory entries. In-flight transactions die with the
+    // home (requesters retry into the new home); home-only data is
+    // lost and recovered from the disk backing store on next touch.
+    std::vector<std::pair<Addr, DirEntry>> entries;
+    m.home(dead)->directory().forEach(
+        [&](Addr line, const DirEntry &e) {
+            entries.emplace_back(line, e);
+        });
+    for (auto &[line, e] : entries) {
+        if (e.busy)
+            ++res.pendingDropped;
+        res.pendingDropped += e.pending.size();
+        e.busy = false;
+        e.pending.clear();
+        if (e.homeHasData) {
+            e.homeHasData = false;
+            e.localPtr = kNilPtr;
+            if (!e.masterOut) {
+                // The only up-to-date copy died with the node.
+                e.pagedOut = true;
+                ++res.linesLost;
+            }
+        }
+        const NodeId target = m.pageMap().homeOf(line);
+        if (target == kInvalidNode || target == dead)
+            panic("failover left a line behind");
+        m.home(target)->adoptEntry(line, e);
+        ++res.entriesMoved;
+    }
+    m.home(dead)->resetForReconfig();
+
+    // Overhead: the OS rebuilds the mapping and directory state from
+    // its replicated page tables — same per-entry/per-page model as a
+    // planned reconfiguration (the lost lines are charged lazily at
+    // page-in). The work is spread over the surviving D-node engines.
+    const ReconfigCosts &rc = cfg.reconfig;
+    res.cost = rc.baseCost + rc.perDirEntryCost * res.entriesMoved +
+               rc.perTenPagesCost * ((res.pagesMoved + 9) / 10);
+    const Tick now = m.eq().curTick();
+    const Tick share =
+        res.cost / static_cast<Tick>(survivors.size()) + 1;
+    for (NodeId s : survivors)
+        m.home(s)->engine().acquire(now, share);
+
+    m.stats().add("fault.failovers");
+    m.stats().add("fault.failover_pages",
+                  static_cast<double>(res.pagesMoved));
+    m.stats().add("fault.failover_entries",
+                  static_cast<double>(res.entriesMoved));
+    m.stats().add("fault.failover_lines_lost",
+                  static_cast<double>(res.linesLost));
+    m.stats().add("fault.failover_pending_dropped",
+                  static_cast<double>(res.pendingDropped));
+    return res;
+}
+
+void
+rebootNode(Machine &m, NodeId n, NodeRole role)
+{
+    if (!m.eq().empty())
+        panic("reboot requires a quiescent machine");
+    if (n < 0 || n >= m.totalNodes() || !m.isDead(n))
+        fatal("rebootNode: node is not dead");
+    if (role == NodeRole::Compute && !m.compute(n))
+        fatal("rebootNode: node has no compute controller");
+    if (role == NodeRole::Directory && !m.home(n))
+        fatal("rebootNode: node has no home controller");
+    // The chip comes back empty: wipe any pre-death state.
+    if (m.home(n))
+        m.home(n)->resetForReconfig();
+    m.setRole(n, role);
+    m.clearDead(n);
+    m.stats().add("fault.reboots");
+}
+
 } // namespace pimdsm

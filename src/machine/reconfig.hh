@@ -40,6 +40,38 @@ struct ReconfigResult
  */
 ReconfigResult applyReconfig(Machine &m, int new_p, int new_d);
 
+struct FailoverResult
+{
+    Tick cost = 0;
+    std::uint64_t pagesMoved = 0;
+    /** Directory entries re-homed at surviving D-nodes. */
+    std::uint64_t entriesMoved = 0;
+    /** Lines whose only up-to-date copy was home storage on the dead
+     *  node: marked paged-out, recovered from disk on next touch. */
+    std::uint64_t linesLost = 0;
+    /** In-flight transactions wiped at the dead home (requesters
+     *  recover by retrying). */
+    std::uint64_t pendingDropped = 0;
+};
+
+/**
+ * Fail-stop @p dead (an AGG D-node) and re-home its pages on the
+ * surviving D-nodes, reusing the reconfiguration migration pattern.
+ * Unlike applyReconfig this runs mid-execution: in-flight transactions
+ * at the dead home are wiped (requesters retry into the new homes) and
+ * lines whose only copy lived there are charged a disk restore on
+ * next access. Requires faults to be enabled and at least one
+ * surviving D-node.
+ */
+FailoverResult failOverDNode(Machine &m, NodeId dead);
+
+/**
+ * Revive a previously-failed node as @p role (machine must be
+ * quiescent). The chip comes back empty: its directory/compute state
+ * was reset when it died.
+ */
+void rebootNode(Machine &m, NodeId n, NodeRole role);
+
 } // namespace pimdsm
 
 #endif // PIMDSM_MACHINE_RECONFIG_HH

@@ -16,14 +16,13 @@ Mesh::Mesh(EventQueue &eq, const NetParams &params, int num_nodes)
         fatal("more nodes than mesh routers");
     links_.resize(static_cast<std::size_t>(params_.meshX) *
                   params_.meshY * 4);
+    linkDrops_.assign(links_.size(), 0);
 }
 
 Resource &
 Mesh::link(int x, int y, int dir)
 {
-    const std::size_t idx =
-        (static_cast<std::size_t>(y) * params_.meshX + x) * 4 + dir;
-    return links_[idx];
+    return links_[linkIndex(x, y, dir)];
 }
 
 Tick
@@ -107,10 +106,23 @@ Mesh::averageUnloadedLatency(int payload_bytes) const
 }
 
 Tick
-Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver)
+Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver,
+           MsgClass cls)
 {
     if (src < 0 || src >= numNodes_ || dst < 0 || dst >= numNodes_)
         panic("mesh send with out-of-range node id");
+
+    FaultDecision fd;
+    if (faults_ && faults_->active() && cls != MsgClass::Immune &&
+        src != dst)
+        fd = faults_->decide(cls);
+
+    if (fd.action == FaultAction::Duplicate) {
+        // The extra copy traverses the mesh independently (paying real
+        // contention) but is immune to further faults: one fault per
+        // message.
+        send(src, dst, payload_bytes, deliver, MsgClass::Immune);
+    }
 
     const Tick now = eq_.curTick();
     const Tick ser = serTicks(payload_bytes);
@@ -119,20 +131,45 @@ Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver)
     // Head-flit time advances hop by hop; each link is reserved for the
     // full serialization time starting when the head can enter it.
     Tick head = now + params_.niLatency;
+    std::size_t last_link = links_.size();
     walkPath(src, dst, [&](int x, int y, int dir) {
         const Tick start = link(x, y, dir).acquire(head, ser);
         head = start + per_hop;
+        last_link = linkIndex(x, y, dir);
     });
 
-    const Tick arrival = head + ser + params_.niLatency;
+    Tick arrival = head + ser + params_.niLatency + fd.extraDelay;
 
     ++messagesSent_;
     bytesSent_ += static_cast<std::uint64_t>(payload_bytes) +
                   params_.headerBytes;
     totalLatency_ += arrival - now;
 
+    if (fd.action == FaultAction::Drop) {
+        // The message occupied its path but the tail is lost on the
+        // final link; the destination never sees it.
+        if (last_link < linkDrops_.size())
+            ++linkDrops_[last_link];
+        return arrival;
+    }
+
     eq_.schedule(arrival, std::move(deliver));
     return arrival;
+}
+
+std::uint64_t
+Mesh::linkDrops(int x, int y, int dir) const
+{
+    return linkDrops_[linkIndex(x, y, dir)];
+}
+
+std::uint64_t
+Mesh::totalDrops() const
+{
+    std::uint64_t t = 0;
+    for (const auto d : linkDrops_)
+        t += d;
+    return t;
 }
 
 Tick

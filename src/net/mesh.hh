@@ -20,6 +20,7 @@
 
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace pimdsm
@@ -41,9 +42,27 @@ class Mesh
     /**
      * Send @p payload_bytes from @p src to @p dst; @p deliver runs when
      * the tail arrives. Self-sends pay only the NI latencies.
-     * @return the scheduled arrival tick.
+     *
+     * When a fault plan is attached (setFaultPlan) and @p cls is not
+     * Immune, the message may be dropped (deliver never runs; the drop
+     * is charged to the last link on the path), extra-delayed, or
+     * delivered twice. Dropped messages still occupy their path links:
+     * the tail is lost in flight, not at injection.
+     *
+     * @return the scheduled arrival tick (of the original copy).
      */
-    Tick send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver);
+    Tick send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver,
+              MsgClass cls = MsgClass::Immune);
+
+    /** Attach the machine's fault plan (nullptr detaches). */
+    void setFaultPlan(FaultPlan *plan) { faults_ = plan; }
+
+    /** Messages dropped on the directed link leaving (x, y) toward
+     *  @p dir (0=E,1=W,2=N,3=S). */
+    std::uint64_t linkDrops(int x, int y, int dir) const;
+
+    /** Total messages dropped in the network. */
+    std::uint64_t totalDrops() const;
 
     /** Contention-free end-to-end latency (for calibration/tests). */
     Tick unloadedLatency(NodeId src, NodeId dst, int payload_bytes) const;
@@ -71,6 +90,13 @@ class Mesh
     /** Directed link leaving router (x, y) toward @p dir (0=E,1=W,2=N,3=S). */
     Resource &link(int x, int y, int dir);
 
+    /** Flat index of that link in links_ / linkDrops_. */
+    std::size_t linkIndex(int x, int y, int dir) const
+    {
+        return (static_cast<std::size_t>(y) * params_.meshX + x) * 4 +
+               dir;
+    }
+
     /** Serialization ticks for a message of @p payload_bytes. */
     Tick serTicks(int payload_bytes) const;
 
@@ -97,6 +123,9 @@ class Mesh
     int numNodes_;
     std::vector<int> nodeToSlot_;
     std::vector<Resource> links_;
+    /** Per-directed-link fault accounting (parallel to links_). */
+    std::vector<std::uint64_t> linkDrops_;
+    FaultPlan *faults_ = nullptr;
     std::uint64_t messagesSent_ = 0;
     std::uint64_t bytesSent_ = 0;
     Tick totalLatency_ = 0;

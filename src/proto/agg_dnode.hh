@@ -142,7 +142,7 @@ class AggDNodeHome : public HomeBase
     void
     resetForReconfig() override
     {
-        dir_.clear();
+        HomeBase::resetForReconfig();
         store_ = DNodeStore(store_.dataEntries());
     }
 

@@ -70,7 +70,7 @@ ComaHome::serveColdRead(Addr line, DirEntry &e, const Message &req,
     e.state = DirEntry::State::Shared;
     e.addSharer(req.src);
     e.busy = false; // no third party involved
-    sendAt(when, r);
+    sendReplyTracked(when, r, req);
 }
 
 void

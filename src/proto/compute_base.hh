@@ -80,6 +80,10 @@ class ComputeBase
     std::uint64_t invalsReceived() const { return invalsReceived_; }
     std::uint64_t writeBacksSent() const { return writeBacksSent_; }
 
+    /** Watchdog diagnostic: one line per stuck MSHR / writeback, in
+     *  line-address order (empty string when nothing is outstanding). */
+    std::string describeOutstanding() const;
+
     /** Debug: L1 subset-of-L2 and L2 subset-of-node-storage checks. */
     void checkInclusion() const;
 
@@ -116,6 +120,37 @@ class ComputeBase
         std::vector<std::pair<Addr, CompletionFn>> waiters;
         /** Accesses re-issued after completion (write joining a read). */
         std::deque<PendingAccess> deferred;
+
+        // --- fault tolerance (active only when faults are enabled) ---
+        /** Request type sent (resent verbatim on timeout). */
+        MsgType reqType = MsgType::ReadReq;
+        /** Transaction sequence number; retries reuse it so a late
+         *  original reply still satisfies the retried transaction. */
+        std::uint64_t seq = 0;
+        int retries = 0;
+        /** Last send / last protocol progress (reply, ack). */
+        Tick lastProgress = 0;
+        /** Current timeout (grows by backoffFactor per retry). */
+        Tick curTimeout = 0;
+        /** Retry budget exhausted; left for the watchdog to report. */
+        bool failed = false;
+        /** Bitmask of nodes whose InvalAck was counted (dedup). */
+        std::uint64_t ackFrom = 0;
+        /** Forwards that arrived before our data did (replayed after
+         *  the line installs). */
+        std::vector<Message> deferredFwds;
+    };
+
+    /** A displaced owned line awaiting WriteBackAck (retried on
+     *  timeout when faults are enabled). */
+    struct WbPending
+    {
+        Version version = 0;
+        bool masterClean = false;
+        Tick lastSend = 0;
+        Tick curTimeout = 0;
+        int retries = 0;
+        bool failed = false;
     };
 
     // ------------------------------------------------------------------
@@ -210,6 +245,22 @@ class ComputeBase
     /** Schedule @p cb at @p when with service class @p svc. */
     void complete(Tick when, ReadService svc, const CompletionFn &cb);
 
+    // ------------------------------------------------------------------
+    // Fault tolerance (inert unless cfg().faults.enabled()).
+    // ------------------------------------------------------------------
+
+    /** Arm the periodic timeout sweep if not already scheduled. */
+    void scheduleFaultSweep();
+
+    /** Scan MSHRs + pending writebacks for expired transactions. */
+    void faultSweep();
+
+    /** Resend the original request of a timed-out MSHR. */
+    void resendRequest(Mshr &m);
+
+    /** Resend a timed-out WriteBack. */
+    void resendWriteBack(Addr line, WbPending &wb);
+
     ProtoContext &ctx_;
     NodeId self_;
     Cache l1_;
@@ -218,7 +269,7 @@ class ComputeBase
     std::unordered_map<Addr, Mshr> mshrs_;
     std::deque<PendingAccess> blocked_;
     /** Displaced owned lines awaiting WriteBackAck. */
-    std::unordered_map<Addr, Version> wbPending_;
+    std::unordered_map<Addr, WbPending> wbPending_;
     /** Accesses waiting for a WriteBackAck on their line. */
     std::unordered_map<Addr, std::deque<PendingAccess>> wbBlocked_;
 
@@ -241,6 +292,12 @@ class ComputeBase
     /** Pending flush completion. */
     std::function<void()> flushDone_;
     std::uint64_t flushOutstanding_ = 0;
+
+    /** Cached cfg().faults.enabled() (config is fixed per machine). */
+    bool faultsOn_ = false;
+    bool sweepScheduled_ = false;
+    /** Per-node transaction sequence counter (0 is "unset"). */
+    std::uint64_t nextTxnSeq_ = 0;
 };
 
 } // namespace pimdsm

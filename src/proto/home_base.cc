@@ -7,7 +7,8 @@
 namespace pimdsm
 {
 
-HomeBase::HomeBase(ProtoContext &ctx, NodeId self) : ctx_(ctx), self_(self)
+HomeBase::HomeBase(ProtoContext &ctx, NodeId self)
+    : ctx_(ctx), self_(self), faultsOn_(ctx.config().faults.enabled())
 {
 }
 
@@ -73,10 +74,20 @@ HomeBase::handleMessage(const Message &msg)
     const Tick when = ctx_.eq().curTick() + detectDelay();
     Message copy = msg;
     ctx_.eq().schedule(when, [this, copy] {
+        // A handler event scheduled before the node died must not run
+        // after it (fail-stop).
+        if (dead_)
+            return;
         switch (copy.type) {
           case MsgType::ReadReq:
           case MsgType::ReadExReq:
           case MsgType::UpgradeReq:
+            // Retried requests must be recognized *before* the busy
+            // check: a dup of the very transaction the line is blocked
+            // on would otherwise queue behind itself and deadlock.
+            if (faultsOn_ && copy.txnSeq != 0 && dedupRequest(copy))
+                return;
+            [[fallthrough]];
           case MsgType::WriteBack:
             {
                 DirEntry &e = entryFor(copy.lineAddr);
@@ -138,6 +149,34 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
     Tick when = start + handlerLatency(req, costs().readLatency);
 
     if (e.state == DirEntry::State::Dirty) {
+        if (faultsOn_ && e.owner == req.src) {
+            // Retry of a read from the node our records call the dirty
+            // owner (its granting reply was lost, e.g. across a
+            // failover): re-grant a master copy idempotently at the
+            // already-committed version instead of forwarding to self.
+            ctx_.stats().add("home.regrant_read");
+            Message r;
+            r.type = MsgType::ReadReply;
+            r.dst = req.src;
+            r.lineAddr = line;
+            r.version = e.version;
+            r.legs = req.legs + 1;
+            r.grantsMaster = grantsMasterOnRead();
+            e.state = DirEntry::State::Shared;
+            e.sharers = 0;
+            e.ptrOverflow = false;
+            e.addSharerLimited(req.src, ctx_.config().directoryPointers);
+            e.masterOut = grantsMasterOnRead();
+            if (!grantsMasterOnRead()) {
+                // NUMA: restore the always-backing home memory.
+                when += absorbData(line, e, e.version);
+                e.owner = kInvalidNode;
+            }
+            updateLinkage(line, e);
+            e.busy = false;
+            sendReplyTracked(when, r, req);
+            return;
+        }
         // 3-hop: the owner supplies the data and keeps mastership as a
         // SharedMaster copy (no home slot is consumed now; the owner's
         // sharing writeback may restore one).
@@ -149,6 +188,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         f.requester = req.src;
         f.lineAddr = line;
         f.legs = req.legs + 1;
+        f.txnSeq = req.txnSeq;
         sendAt(when, f);
 
         e.state = DirEntry::State::Shared;
@@ -183,7 +223,9 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         r.lineAddr = line;
         r.version = e.version;
         r.legs = req.legs + 1;
-        if (grantsMasterOnRead() && !e.masterOut) {
+        // Re-granting mastership to the node that already holds it is
+        // idempotent (only reachable when a granting reply was lost).
+        if (grantsMasterOnRead() && (!e.masterOut || e.owner == req.src)) {
             r.grantsMaster = true;
             e.masterOut = true;
             e.owner = req.src;
@@ -195,11 +237,14 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         // mesh delivers our later messages to the requester after
         // this reply).
         e.busy = false;
-        sendAt(when, r);
+        sendReplyTracked(when, r, req);
         return;
     }
 
-    if (e.masterOut) {
+    // A master copy cannot serve a forwarded read to itself; if the
+    // recorded master *is* the requester (lost grant), fall through to
+    // the cold path and re-serve it from home storage.
+    if (e.masterOut && e.owner != req.src) {
         // Home dropped its copy; 3-hop via the master (the paper's
         // motivation for discouraging SharedList reuse).
         ++forwards_;
@@ -211,6 +256,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         f.requester = req.src;
         f.lineAddr = line;
         f.legs = req.legs + 1;
+        f.txnSeq = req.txnSeq;
         sendAt(when, f);
         e.state = DirEntry::State::Shared;
         e.addSharerLimited(req.src, ctx_.config().directoryPointers);
@@ -245,7 +291,7 @@ HomeBase::serveColdRead(Addr line, DirEntry &e, const Message &req,
     e.addSharerLimited(req.src, ctx_.config().directoryPointers);
     updateLinkage(line, e);
     e.busy = false; // no third party involved
-    sendAt(when, r);
+    sendReplyTracked(when, r, req);
 }
 
 void
@@ -255,12 +301,35 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
     e.busy = true;
 
     const NodeId requester = req.src;
-    const Version vnew = ctx_.bumpVersion(line);
     const Tick now = ctx_.eq().curTick();
 
-    if (e.state == DirEntry::State::Dirty) {
-        if (e.owner == requester)
+    if (e.state == DirEntry::State::Dirty && e.owner == requester) {
+        // Retry of a write we already granted (the reply or our
+        // served_ record was lost, e.g. across a failover): re-grant
+        // ownership idempotently at the already-committed version —
+        // bumping again would break the version oracle.
+        if (!faultsOn_)
             panic("write request from current dirty owner");
+        ctx_.stats().add("home.regrant_write");
+        const Tick start =
+            engine_.acquire(now, scaled(costs().readExOccupancy));
+        const Tick when = start + handlerLatency(req, costs().readExLatency);
+        Message r;
+        r.type = MsgType::ReadExReply;
+        r.dst = requester;
+        r.lineAddr = line;
+        r.ackCount = 0;
+        r.version = e.version;
+        r.legs = req.legs + 1;
+        r.needsTxnDone = false;
+        e.busy = false;
+        sendReplyTracked(when, r, req);
+        return;
+    }
+
+    const Version vnew = ctx_.bumpVersion(line);
+
+    if (e.state == DirEntry::State::Dirty) {
         const Tick start =
             engine_.acquire(now, scaled(costs().readExOccupancy));
         const Tick when = start + handlerLatency(req, costs().readExLatency);
@@ -274,6 +343,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         f.version = vnew;
         f.ackCount = 0;
         f.legs = req.legs + 1;
+        f.txnSeq = req.txnSeq;
         sendAt(when, f);
 
         e.state = DirEntry::State::Dirty;
@@ -331,7 +401,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         r.version = vnew;
         r.legs = req.legs + 1;
         r.needsTxnDone = n_inv > 0;
-        sendAt(when, r);
+        sendReplyTracked(when, r, req);
     } else if (fwd_to_master) {
         ++forwards_;
         Message f;
@@ -343,6 +413,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         f.version = vnew;
         f.ackCount = n_inv;
         f.legs = req.legs + 1;
+        f.txnSeq = req.txnSeq;
         sendAt(when, f);
     } else {
         if (e.pagedOut)
@@ -358,7 +429,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         r.version = vnew;
         r.legs = req.legs + 1;
         r.needsTxnDone = n_inv > 0;
-        sendAt(when, r);
+        sendReplyTracked(when, r, req);
     }
 
     // Track the latest committed generation at the directory entry so
@@ -448,8 +519,15 @@ void
 HomeBase::finishTxn(Addr line)
 {
     DirEntry &e = entryFor(line);
-    if (!e.busy)
+    if (!e.busy) {
+        // A duplicated TxnDone (or one whose transaction was wiped by
+        // a failover) lands on an idle line; harmless under faults.
+        if (faultsOn_) {
+            ctx_.stats().add("home.spurious_txndone");
+            return;
+        }
         panic("finishTxn on idle line");
+    }
     e.busy = false;
     // Serve queued requests until one blocks the line again. (A queued
     // WriteBack completes without blocking, so draining must continue
@@ -553,6 +631,50 @@ HomeBase::functionalWriteBack(Addr line, NodeId from, Version v)
             e.state = DirEntry::State::Uncached;
     }
     updateLinkage(line, e);
+}
+
+bool
+HomeBase::dedupRequest(const Message &msg)
+{
+    const auto key = std::make_pair(msg.lineAddr, msg.src);
+    auto it = served_.find(key);
+    if (it == served_.end() || msg.txnSeq > it->second.seq) {
+        // Fresh transaction: record it and serve normally.
+        ServedTxn &st = served_[key];
+        st.seq = msg.txnSeq;
+        st.hasReply = false;
+        st.reply = Message{};
+        return false;
+    }
+    if (msg.txnSeq == it->second.seq && it->second.hasReply) {
+        // Fully served but the reply was lost: replay it verbatim at
+        // the cheap ack-handler cost (no directory transition).
+        const Tick now = ctx_.eq().curTick();
+        const Tick start =
+            engine_.acquire(now, scaled(costs().ackOccupancy));
+        Message r = it->second.reply;
+        r.legs = msg.legs + 1;
+        ctx_.stats().add("home.reply_replayed");
+        sendAt(start + scaled(costs().ackLatency), r);
+    } else {
+        // Still in flight (blocked or forwarded), or an older
+        // transaction's straggler: ignore the duplicate.
+        ctx_.stats().add("home.dup_request_ignored");
+    }
+    return true;
+}
+
+void
+HomeBase::sendReplyTracked(Tick when, Message r, const Message &req)
+{
+    if (faultsOn_ && req.txnSeq != 0) {
+        r.txnSeq = req.txnSeq;
+        ServedTxn &st = served_[{req.lineAddr, req.src}];
+        st.seq = req.txnSeq;
+        st.hasReply = true;
+        st.reply = r;
+    }
+    sendAt(when, r);
 }
 
 void

@@ -20,6 +20,8 @@
 #define PIMDSM_PROTO_HOME_BASE_HH
 
 #include <cstdint>
+#include <map>
+#include <utility>
 
 #include "proto/context.hh"
 #include "proto/directory.hh"
@@ -71,7 +73,20 @@ class HomeBase
     void functionalWriteBack(Addr line, NodeId from, Version v);
 
     /** Drop all directory state and storage (node leaves D role). */
-    virtual void resetForReconfig() { dir_.clear(); }
+    virtual void
+    resetForReconfig()
+    {
+        dir_.clear();
+        served_.clear();
+    }
+
+    /**
+     * Fail-stop switch: a dead home ignores every message (the machine
+     * also drops traffic to/from it; this guards handler events that
+     * were already scheduled when the node died).
+     */
+    void setDead(bool dead) { dead_ = dead; }
+    bool isDead() const { return dead_; }
 
   protected:
     // ------------------------------------------------------------------
@@ -184,12 +199,43 @@ class HomeBase
     /** Unblock @p line and serve the next queued request, if any. */
     void finishTxn(Addr line);
 
+    // ------------------------------------------------------------------
+    // Fault tolerance (inert unless cfg().faults.enabled()).
+    // ------------------------------------------------------------------
+
+    /**
+     * Request dedup by <line, requester, txn seq>. Returns true if the
+     * request is a duplicate of one already seen (replaying the cached
+     * reply when one exists); false if it is fresh and must be served.
+     */
+    bool dedupRequest(const Message &msg);
+
+    /**
+     * Send a home-generated reply, caching it against the request's
+     * txn seq so a retried request can be answered idempotently.
+     */
+    void sendReplyTracked(Tick when, Message r, const Message &req);
+
     ProtoContext &ctx_;
     NodeId self_;
     Resource engine_;
     DirectoryTable dir_;
     /** Monotonic egress time (see sendAt). */
     Tick egressClock_ = 0;
+
+    /** Last transaction served per <line, requester> (+ cached reply),
+     *  for idempotent request handling. Populated only under faults. */
+    struct ServedTxn
+    {
+        std::uint64_t seq = 0;
+        bool hasReply = false;
+        Message reply;
+    };
+    std::map<std::pair<Addr, NodeId>, ServedTxn> served_;
+    /** Cached cfg().faults.enabled(). */
+    bool faultsOn_ = false;
+    /** Fail-stop: node died; ignore everything. */
+    bool dead_ = false;
 
     std::uint64_t reads_ = 0;
     std::uint64_t writes_ = 0;

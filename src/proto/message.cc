@@ -73,6 +73,40 @@ msgBoundForHome(MsgType t)
     }
 }
 
+MsgClass
+msgClassOf(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq:
+      case MsgType::ReadExReq:
+      case MsgType::UpgradeReq:
+        return MsgClass::Request;
+      case MsgType::ReadReply:
+      case MsgType::ReadExReply:
+      case MsgType::UpgradeReply:
+        return MsgClass::Reply;
+      case MsgType::WriteBack:
+      case MsgType::WriteBackAck:
+      case MsgType::OwnerToHome:
+        return MsgClass::WriteBack;
+      case MsgType::TxnDone:
+      case MsgType::InvalAck:
+        return MsgClass::Ack;
+      case MsgType::Fwd:
+      case MsgType::FwdReply:
+      case MsgType::Inval:
+      case MsgType::Inject:
+      case MsgType::MasterGrant:
+      case MsgType::InjectAck:
+      case MsgType::InjectNack:
+        return MsgClass::Peer;
+      case MsgType::CimReq:
+      case MsgType::CimReply:
+        return MsgClass::Cim;
+    }
+    return MsgClass::Immune;
+}
+
 int
 Message::payloadBytes(int mem_line_bytes) const
 {

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace pimdsm
@@ -46,10 +47,16 @@ enum class MsgType : std::uint8_t
     CimReply,     ///< D-node returns matching record pointers
 };
 
+/** Number of distinct MsgType values (for exhaustiveness checks). */
+constexpr int kNumMsgTypes = static_cast<int>(MsgType::CimReply) + 1;
+
 const char *msgTypeName(MsgType t);
 
 /** True if @p t is processed by the destination's home-side controller. */
 bool msgBoundForHome(MsgType t);
+
+/** Fault-injection class of @p t (see sim/fault.hh). */
+MsgClass msgClassOf(MsgType t);
 
 /** What a Fwd asks the owner to do. */
 enum class FwdKind : std::uint8_t
@@ -88,6 +95,12 @@ struct Message
     bool masterClean = false;
     /** CIM: records to scan / matches returned. */
     std::uint64_t cimCount = 0;
+    /**
+     * Requester-local transaction sequence number, used to dedup
+     * retried requests at the home and stale/duplicate replies at the
+     * MSHR. Zero (unset) when fault injection is disabled.
+     */
+    std::uint64_t txnSeq = 0;
 
     /** Payload bytes (data-bearing messages carry one memory line). */
     int payloadBytes(int mem_line_bytes) const;

@@ -1,5 +1,6 @@
 #include "report/experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -25,6 +26,34 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
     SyncManager sync(static_cast<int>(m.computeNodes().size()));
 
     RunResult result;
+
+    // Scheduled fail-stop deaths, fired from the driver (not from
+    // pre-armed events: the trailing per-phase drain must observe the
+    // same queue a fault-free run does).
+    std::vector<DNodeDeath> deaths = cfg.faults.deaths;
+    std::sort(deaths.begin(), deaths.end(),
+              [](const DNodeDeath &a, const DNodeDeath &b) {
+                  return a.tick < b.tick;
+              });
+    std::size_t death_idx = 0;
+    auto fire_death = [&](NodeId n) {
+        if (n < 0 || n >= m.totalNodes() || m.isDead(n) ||
+            m.role(n) != NodeRole::Directory) {
+            warn("scheduled death skipped: node " + std::to_string(n) +
+                 " is not a live D-node");
+            m.stats().add("fault.deaths_skipped");
+            return;
+        }
+        const FailoverResult fr = failOverDNode(m, n);
+        result.failoverTicks += fr.cost;
+        ++result.failovers;
+    };
+    auto fire_due_deaths = [&] {
+        while (death_idx < deaths.size() &&
+               m.eq().curTick() >= deaths[death_idx].tick) {
+            fire_death(deaths[death_idx++].node);
+        }
+    };
 
     // Per-phase D-node engine busy snapshot for the auto policy.
     auto dnode_busy = [&m] {
@@ -71,19 +100,29 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         std::uint64_t events = 0;
         while (done < threads) {
             if (!m.eq().runOne()) {
+                // The queue can legitimately drain early if the only
+                // future event is a scheduled node death: fire it now
+                // (its failover may revive retries) and keep going.
+                if (death_idx < deaths.size()) {
+                    fire_death(deaths[death_idx++].node);
+                    continue;
+                }
                 m.dumpState(std::cerr);
                 for (int t = 0; t < threads; ++t) {
                     if (!procs[t]->finished())
                         std::cerr << "thread " << t << " unfinished\n";
                 }
-                panic("deadlock: phase '" + pr.name +
-                      "' stalled with idle event queue");
+                panic("watchdog: phase '" + pr.name +
+                      "' stalled with work outstanding:\n" +
+                      m.stuckDiagnostic());
             }
+            fire_due_deaths();
             if (++events > opts.maxEventsPerPhase)
                 panic("phase '" + pr.name + "' exceeded event budget");
         }
         // Drain trailing protocol activity (acks, writebacks).
-        m.eq().run();
+        while (m.eq().runOne())
+            fire_due_deaths();
 
         pr.endTick = m.eq().curTick();
         for (auto &p : procs) {
@@ -119,6 +158,13 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
                 ++result.autoReconfigs;
             }
         }
+    }
+
+    if (death_idx < deaths.size()) {
+        warn("scheduled node deaths never fired (workload finished "
+             "first)");
+        m.stats().add("fault.deaths_unfired",
+                      static_cast<double>(deaths.size() - death_idx));
     }
 
     result.totalTicks = m.eq().curTick();

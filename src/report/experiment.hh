@@ -73,6 +73,10 @@ struct RunResult
     double dNodeUtilization = 0.0;
     /** Reconfigurations the auto policy performed. */
     int autoReconfigs = 0;
+    /** Scheduled D-node deaths that were failed over. */
+    int failovers = 0;
+    /** Modeled overhead of those failovers. */
+    Tick failoverTicks = 0;
 
     /** Fraction of total time that is memory stall (Figure 6 split). */
     double

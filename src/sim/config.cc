@@ -59,6 +59,13 @@ MachineConfig::validate() const
         fatal("issue width must be positive");
     if (proc.maxOutstandingLoads > proc.maxOutstanding)
         fatal("load limit exceeds total outstanding limit");
+    faults.validate();
+    for (const auto &d : faults.deaths) {
+        if (arch != ArchKind::Agg)
+            fatal("scheduled node deaths require an AGG machine");
+        if (d.node < numPNodes || d.node >= totalNodes())
+            fatal("scheduled death must name a D-node");
+    }
 }
 
 void

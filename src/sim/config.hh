@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "sim/fault.hh"
 #include "sim/types.hh"
 
 namespace pimdsm
@@ -206,6 +207,9 @@ struct MachineConfig
 
     /** Deterministic seed for any stochastic machine behaviour. */
     std::uint64_t seed = 1;
+
+    /** Fault-injection plan (inert by default; see sim/fault.hh). */
+    FaultConfig faults;
 
     /** Nodes in the machine (P + D). */
     int totalNodes() const { return numPNodes + numDNodes; }

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Deterministic fault injection (lossy mesh + D-node death).
+ *
+ * A FaultPlan is a seeded schedule of network misbehaviour — per
+ * message-class drop / delay / duplicate probabilities plus directed
+ * "drop exactly the Nth message of this class" events — and of D-node
+ * fail-stop deaths. The mesh consults the plan on every send; the
+ * protocol layers recover through MSHR timeouts with exponential
+ * backoff, home-side request dedup, and directory failover (see
+ * DESIGN.md, "Fault model & degradation").
+ *
+ * Only message classes the protocol can recover from are droppable
+ * (requests, replies, writebacks); configured drops on other classes
+ * are demoted to delays so a plan can never wedge the machine through
+ * an unrecoverable loss.
+ */
+
+#ifndef PIMDSM_SIM_FAULT_HH
+#define PIMDSM_SIM_FAULT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+class StatSet;
+
+/** Coarse message classification for fault targeting. */
+enum class MsgClass : std::uint8_t
+{
+    Request,   ///< ReadReq / ReadExReq / UpgradeReq (retried on timeout)
+    Reply,     ///< ReadReply / ReadExReply / UpgradeReply (re-served)
+    WriteBack, ///< WriteBack / WriteBackAck / OwnerToHome (retried)
+    Ack,       ///< TxnDone / InvalAck (duplicable, not droppable)
+    Peer,      ///< Fwd / FwdReply / Inval / COMA injection traffic
+    Cim,       ///< CimReq / CimReply
+    Immune,    ///< never faulted (raw mesh sends, fault-free callers)
+};
+
+/** Classes eligible for fault injection (Immune excluded). */
+constexpr int kNumFaultClasses = 6;
+
+const char *msgClassName(MsgClass c);
+
+/** Per-class fault probabilities (all in [0, 1]). */
+struct ClassFaultRates
+{
+    double drop = 0.0;
+    double delay = 0.0;
+    double duplicate = 0.0;
+    /** Directed scalpel: drop exactly the Nth mesh message of this
+     *  class (1-based; 0 = disabled). Independent of @c drop. */
+    std::uint64_t dropNth = 0;
+};
+
+/** A scheduled fail-stop D-node death. */
+struct DNodeDeath
+{
+    Tick tick = 0;
+    NodeId node = kInvalidNode;
+};
+
+/** Fault-injection knobs, carried inside MachineConfig. */
+struct FaultConfig
+{
+    ClassFaultRates rates[kNumFaultClasses];
+    /** Extra latency added to a delayed message. */
+    Tick delayTicks = 500;
+    /** Seed of the injection RNG (independent of MachineConfig::seed
+     *  so fault placement is stable across machine-level knobs). */
+    std::uint64_t seed = 0x5eedu;
+    /** Initial per-transaction timeout before the first retry. */
+    Tick timeoutTicks = 20000;
+    /** Timeout multiplier applied after each retry. */
+    double backoffFactor = 2.0;
+    /** Retries before a transaction is abandoned (then the watchdog
+     *  reports it when the machine stalls). */
+    int retryLimit = 8;
+    /** Period of the compute-side timeout sweep. */
+    Tick sweepInterval = 2000;
+    /** Scheduled D-node deaths (fired by the experiment runner). */
+    std::vector<DNodeDeath> deaths;
+
+    /** True if any fault mechanism is configured; the retry/dedup
+     *  machinery is armed only when this holds, so fault-free runs
+     *  are bit-identical to the pre-fault simulator. */
+    bool enabled() const;
+
+    /** Convenience: drop requests, replies and writebacks at @p p. */
+    void setUniformDropRate(double p);
+
+    /** Throw FatalError on nonsensical settings. */
+    void validate() const;
+};
+
+/** What the mesh should do with one message. */
+enum class FaultAction : std::uint8_t
+{
+    Deliver,
+    Drop,
+    Delay,
+    Duplicate,
+};
+
+struct FaultDecision
+{
+    FaultAction action = FaultAction::Deliver;
+    Tick extraDelay = 0;
+};
+
+/** True if the protocol can recover from losing this class. */
+bool msgClassDroppable(MsgClass c);
+
+/** True if duplicate delivery of this class is dedup'd downstream. */
+bool msgClassDupSafe(MsgClass c);
+
+/**
+ * Runtime fault oracle: owns the seeded RNG and the per-class message
+ * counters, and surfaces every decision through StatSet counters
+ * ("fault.net.*"). One per Machine.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    void init(const FaultConfig &cfg, StatSet *stats);
+
+    bool active() const { return active_; }
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Decide the fate of the next mesh message of class @p cls. */
+    FaultDecision decide(MsgClass cls);
+
+  private:
+    FaultConfig cfg_;
+    StatSet *stats_ = nullptr;
+    Rng rng_{1};
+    std::uint64_t seen_[kNumFaultClasses] = {};
+    bool active_ = false;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_FAULT_HH

@@ -38,11 +38,19 @@ traceSet()
 
 } // namespace
 
-void
+bool
 warn(const std::string &msg)
 {
-    if (warnedSet().insert(msg).second)
-        std::fprintf(stderr, "pimdsm warn: %s\n", msg.c_str());
+    if (!warnedSet().insert(msg).second)
+        return false;
+    std::fprintf(stderr, "pimdsm warn: %s\n", msg.c_str());
+    return true;
+}
+
+void
+warnResetForTest()
+{
+    warnedSet().clear();
 }
 
 void

@@ -35,8 +35,14 @@ struct FatalError : std::runtime_error
 [[noreturn]] void panic(const std::string &msg);
 [[noreturn]] void fatal(const std::string &msg);
 
-/** Print a non-fatal warning to stderr (at most once per message text). */
-void warn(const std::string &msg);
+/**
+ * Print a non-fatal warning to stderr (at most once per message text).
+ * @return true if the message was printed, false if it was deduped.
+ */
+bool warn(const std::string &msg);
+
+/** Clear warn()'s dedup set so tests can assert on repeated warnings. */
+void warnResetForTest();
 
 /**
  * Debug trace control. Tracing is off by default; tests and the

@@ -1,0 +1,401 @@
+/**
+ * @file
+ * Fault-injection and recovery: message classification, directed
+ * drop/retry, the transaction watchdog, D-node failover, reboot, and
+ * the determinism of seeded fault campaigns.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "machine/machine.hh"
+#include "machine/reconfig.hh"
+#include "report/experiment.hh"
+#include "sim/log.hh"
+#include "workload/apps.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+MachineConfig
+smallCfg(ArchKind arch, int p, int d)
+{
+    MachineConfig cfg = makeBaseConfig(arch);
+    cfg.numPNodes = p;
+    cfg.numThreads = p;
+    cfg.numDNodes = arch == ArchKind::Agg ? d : 0;
+    cfg.pNodeMemBytes = 64 * 1024;
+    cfg.dNodeMemBytes = 64 * 1024;
+    cfg.l1 = CacheParams{1024, 1, 64, 3};
+    cfg.l2 = CacheParams{4096, 1, 64, 6};
+    fitMesh(cfg.net, cfg.totalNodes());
+    cfg.validate();
+    return cfg;
+}
+
+struct Tracker
+{
+    bool done = false;
+    Tick when = 0;
+    ReadService svc = ReadService::FLC;
+
+    ComputeBase::CompletionFn
+    fn()
+    {
+        return [this](Tick t, ReadService s) {
+            done = true;
+            when = t;
+            svc = s;
+        };
+    }
+};
+
+Tracker
+doAccess(Machine &m, NodeId n, Addr a, bool write)
+{
+    Tracker t;
+    m.compute(n)->access(a, write, t.fn());
+    m.eq().run();
+    EXPECT_TRUE(t.done);
+    return t;
+}
+
+constexpr Addr kLine = 1ull << 20;
+
+// ----------------------------------------------------- classification
+
+TEST(FaultModel, EveryMsgTypeHasADistinctName)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumMsgTypes; ++i) {
+        const char *name = msgTypeName(static_cast<MsgType>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "?") << "unnamed MsgType " << i;
+        EXPECT_TRUE(names.insert(name).second)
+            << "duplicate name " << name;
+    }
+    EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumMsgTypes));
+}
+
+TEST(FaultModel, OnlyRecoverableClassesAreDroppable)
+{
+    // Requests, replies and writebacks have a retry path; everything
+    // else must never be silently lost.
+    EXPECT_TRUE(msgClassDroppable(MsgClass::Request));
+    EXPECT_TRUE(msgClassDroppable(MsgClass::Reply));
+    EXPECT_TRUE(msgClassDroppable(MsgClass::WriteBack));
+    EXPECT_FALSE(msgClassDroppable(MsgClass::Ack));
+    EXPECT_FALSE(msgClassDroppable(MsgClass::Peer));
+    EXPECT_FALSE(msgClassDroppable(MsgClass::Cim));
+    EXPECT_FALSE(msgClassDroppable(MsgClass::Immune));
+    // Acks are additionally dedup'd at the receiver, so duplication
+    // is safe there too.
+    EXPECT_TRUE(msgClassDupSafe(MsgClass::Ack));
+    EXPECT_FALSE(msgClassDupSafe(MsgClass::Peer));
+
+    // Every message type must land in a deliberate class.
+    for (int i = 0; i < kNumMsgTypes; ++i) {
+        const MsgType t = static_cast<MsgType>(i);
+        EXPECT_NE(msgClassOf(t), MsgClass::Immune)
+            << "unclassified type " << msgTypeName(t);
+    }
+    EXPECT_EQ(msgClassOf(MsgType::ReadReq), MsgClass::Request);
+    EXPECT_EQ(msgClassOf(MsgType::ReadReply), MsgClass::Reply);
+    EXPECT_EQ(msgClassOf(MsgType::WriteBack), MsgClass::WriteBack);
+    EXPECT_EQ(msgClassOf(MsgType::InvalAck), MsgClass::Ack);
+    EXPECT_EQ(msgClassOf(MsgType::Fwd), MsgClass::Peer);
+    EXPECT_EQ(msgClassOf(MsgType::CimReq), MsgClass::Cim);
+}
+
+TEST(FaultModel, ConfigValidation)
+{
+    FaultConfig fc;
+    EXPECT_FALSE(fc.enabled());
+    EXPECT_NO_THROW(fc.validate());
+    fc.setUniformDropRate(0.05);
+    EXPECT_TRUE(fc.enabled());
+    EXPECT_NO_THROW(fc.validate());
+    fc.rates[static_cast<int>(MsgClass::Reply)].drop = 1.5;
+    EXPECT_THROW(fc.validate(), FatalError);
+}
+
+// ----------------------------------------------------------- warn()
+
+TEST(FaultModel, WarnDedupesUntilReset)
+{
+    warnResetForTest();
+    EXPECT_TRUE(warn("test_faults: repeated warning"));
+    EXPECT_FALSE(warn("test_faults: repeated warning"));
+    warnResetForTest();
+    EXPECT_TRUE(warn("test_faults: repeated warning"));
+    warnResetForTest();
+}
+
+// ----------------------------------------------- directed drop/retry
+
+TEST(FaultInjection, DroppedReadReplyIsRetriedAndCompletes)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Agg, 2, 1);
+    // Deterministically drop exactly the first reply on the mesh.
+    cfg.faults.rates[static_cast<int>(MsgClass::Reply)].dropNth = 1;
+    cfg.faults.timeoutTicks = 5000;
+    cfg.faults.sweepInterval = 500;
+    Machine m(cfg);
+
+    auto t = doAccess(m, 0, kLine, false);
+    EXPECT_TRUE(t.done);
+    // The retry detour went through the timeout sweep.
+    EXPECT_GT(t.when, cfg.faults.timeoutTicks);
+    EXPECT_EQ(m.stats().get("fault.net.drop"), 1.0);
+    EXPECT_EQ(m.stats().get("fault.retries"), 1.0);
+    EXPECT_EQ(m.mesh().totalDrops(), 1u);
+    // The retried request hit the home's served-transaction cache.
+    EXPECT_EQ(m.stats().get("home.reply_replayed"), 1.0);
+
+    // The machine is fully recovered: later traffic behaves normally.
+    auto t2 = doAccess(m, 1, kLine, true);
+    EXPECT_TRUE(t2.done);
+    m.checkInvariants();
+}
+
+TEST(FaultInjection, DroppedRequestIsRetriedAndCompletes)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Agg, 2, 1);
+    cfg.faults.rates[static_cast<int>(MsgClass::Request)].dropNth = 1;
+    cfg.faults.timeoutTicks = 5000;
+    cfg.faults.sweepInterval = 500;
+    Machine m(cfg);
+
+    auto t = doAccess(m, 0, kLine, true);
+    EXPECT_TRUE(t.done);
+    EXPECT_EQ(m.stats().get("fault.net.drop"), 1.0);
+    EXPECT_EQ(m.stats().get("fault.retries"), 1.0);
+    // The request never arrived, so there was nothing to replay.
+    EXPECT_EQ(m.stats().get("home.reply_replayed"), 0.0);
+    m.checkInvariants();
+}
+
+TEST(FaultInjection, DuplicatedReplyIsIgnoredOnce)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Agg, 2, 1);
+    cfg.faults.rates[static_cast<int>(MsgClass::Reply)].duplicate = 1.0;
+    Machine m(cfg);
+
+    auto t = doAccess(m, 0, kLine, false);
+    EXPECT_TRUE(t.done);
+    EXPECT_GT(m.stats().get("fault.net.dup"), 0.0);
+    // The copy lands either while the MSHR is live (dup) or after it
+    // retired (orphan); both are absorbed without a state change.
+    EXPECT_GT(m.stats().get("fault.dup_reply") +
+                  m.stats().get("fault.orphan_reply"),
+              0.0);
+    m.checkInvariants();
+}
+
+// ------------------------------------------------------------ watchdog
+
+TEST(FaultInjection, TotalLossTripsWatchdogWithDiagnostic)
+{
+    auto wl = makeWorkload("fft", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 2;
+    spec.pressure = 0.25;
+    MachineConfig cfg = buildConfig(*wl, spec);
+    cfg.faults.setUniformDropRate(1.0);
+    cfg.faults.timeoutTicks = 2000;
+    cfg.faults.sweepInterval = 500;
+    cfg.faults.retryLimit = 2;
+
+    warnResetForTest();
+    try {
+        runWorkload(cfg, *wl);
+        FAIL() << "expected the watchdog to panic";
+    } catch (const PanicError &e) {
+        const std::string what = e.what();
+        // The watchdog names itself and the stuck transactions.
+        EXPECT_NE(what.find("watchdog"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 0x"), std::string::npos) << what;
+        EXPECT_NE(what.find("node"), std::string::npos) << what;
+    }
+    warnResetForTest();
+}
+
+// ------------------------------------------------- failover + reboot
+
+TEST(Failover, DNodeDeathMidRunFailsOverAndCompletes)
+{
+    auto wl = makeWorkload("radix", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 4;
+    spec.dNodes = 2;
+    spec.pressure = 0.25;
+    MachineConfig cfg = buildConfig(*wl, spec);
+    // Kill the first D-node early in the run.
+    cfg.faults.deaths.push_back(
+        DNodeDeath{10'000, static_cast<NodeId>(cfg.numPNodes)});
+    cfg.faults.timeoutTicks = 5000;
+    cfg.faults.sweepInterval = 1000;
+
+    RunOptions opts;
+    opts.checkInvariants = true;
+    const RunResult r = runWorkload(cfg, *wl, opts);
+
+    EXPECT_EQ(r.failovers, 1);
+    EXPECT_GT(r.failoverTicks, 0u);
+    EXPECT_EQ(r.counters.at("fault.failovers"), 1.0);
+    // The survivors absorbed the dead node's pages.
+    EXPECT_GT(r.counters.at("fault.failover_pages"), 0.0);
+    EXPECT_EQ(static_cast<int>(r.phases.size()), wl->numPhases());
+}
+
+TEST(Failover, SlowdownIsReportedAgainstCleanRun)
+{
+    auto wl = makeWorkload("radix", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 4;
+    spec.dNodes = 2;
+    spec.pressure = 0.25;
+
+    const MachineConfig clean = buildConfig(*wl, spec);
+    const RunResult base = runWorkload(clean, *wl);
+
+    MachineConfig cfg = clean;
+    cfg.faults.deaths.push_back(
+        DNodeDeath{10'000, static_cast<NodeId>(cfg.numPNodes)});
+    const RunResult faulty = runWorkload(cfg, *wl);
+
+    // Losing half the directory capacity cannot speed the run up.
+    EXPECT_GE(faulty.totalTicks, base.totalTicks);
+}
+
+TEST(Failover, ManualFailoverThenReboot)
+{
+    MachineConfig cfg = smallCfg(ArchKind::Agg, 2, 2);
+    // A far-future death enables the fault machinery without firing.
+    cfg.faults.deaths.push_back(
+        DNodeDeath{1'000'000'000'000ull, 2});
+    Machine m(cfg);
+
+    // Touch a line so node 2 owns directory state, then kill it.
+    doAccess(m, 0, kLine, false);
+    const NodeId home0 = m.pageMap().homeOf(kLine);
+    ASSERT_EQ(m.directoryNodes().size(), 2u);
+
+    const FailoverResult fr = failOverDNode(m, home0);
+    EXPECT_TRUE(m.isDead(home0));
+    EXPECT_GT(fr.cost, 0u);
+    EXPECT_GT(fr.pagesMoved, 0u);
+    EXPECT_EQ(m.directoryNodes().size(), 1u);
+    const NodeId home1 = m.pageMap().homeOf(kLine);
+    EXPECT_NE(home1, home0);
+
+    // The line is still reachable through the surviving home.
+    auto t = doAccess(m, 1, kLine, true);
+    EXPECT_TRUE(t.done);
+    m.checkInvariants();
+
+    // Reboot the chip as a fresh D-node; it serves again.
+    rebootNode(m, home0, NodeRole::Directory);
+    EXPECT_FALSE(m.isDead(home0));
+    EXPECT_EQ(m.directoryNodes().size(), 2u);
+    EXPECT_EQ(m.stats().get("fault.reboots"), 1.0);
+    auto t2 = doAccess(m, 0, kLine + (1ull << 21), false);
+    EXPECT_TRUE(t2.done);
+    m.checkInvariants();
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(FaultInjection, SeededLossyRunIsBitIdentical)
+{
+    auto wl = makeWorkload("fft", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 4;
+    spec.pressure = 0.25;
+    MachineConfig cfg = buildConfig(*wl, spec);
+    cfg.faults.setUniformDropRate(0.02);
+    cfg.faults.seed = 0xfeedbeefull;
+    cfg.faults.timeoutTicks = 5000;
+    cfg.faults.sweepInterval = 1000;
+
+    warnResetForTest();
+    const RunResult r1 = runWorkload(cfg, *wl);
+    warnResetForTest();
+    const RunResult r2 = runWorkload(cfg, *wl);
+    warnResetForTest();
+
+    EXPECT_GT(r1.counters.at("fault.net.drop"), 0.0);
+    EXPECT_GT(r1.counters.at("fault.retries"), 0.0);
+    EXPECT_EQ(r1.totalTicks, r2.totalTicks);
+    EXPECT_EQ(r1.messages, r2.messages);
+    EXPECT_EQ(r1.counters, r2.counters);
+}
+
+class EveryWorkloadLossy : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryWorkloadLossy, FivePercentDropCompletesWithRetries)
+{
+    auto wl = makeWorkload(GetParam(), 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 4;
+    spec.pressure = 0.25;
+    MachineConfig cfg = buildConfig(*wl, spec);
+    cfg.faults.setUniformDropRate(0.05);
+    cfg.faults.timeoutTicks = 5000;
+    cfg.faults.sweepInterval = 1000;
+
+    warnResetForTest();
+    RunOptions opts;
+    opts.checkInvariants = true;
+    const RunResult r = runWorkload(cfg, *wl, opts);
+    EXPECT_GT(r.counters.at("fault.net.drop"), 0.0);
+    EXPECT_GT(r.counters.at("fault.retries"), 0.0);
+    EXPECT_EQ(static_cast<int>(r.phases.size()), wl->numPhases());
+    warnResetForTest();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, EveryWorkloadLossy,
+    ::testing::ValuesIn(paperWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(FaultInjection, ModerateLossCompletesOnEveryArch)
+{
+    for (ArchKind arch :
+         {ArchKind::Agg, ArchKind::Numa, ArchKind::Coma}) {
+        auto wl = makeWorkload("fft", 1);
+        BuildSpec spec;
+        spec.arch = arch;
+        spec.threads = 4;
+        spec.pressure = 0.25;
+        MachineConfig cfg = buildConfig(*wl, spec);
+        cfg.faults.setUniformDropRate(0.02);
+        cfg.faults.timeoutTicks = 5000;
+        cfg.faults.sweepInterval = 1000;
+
+        warnResetForTest();
+        RunOptions opts;
+        opts.checkInvariants = true;
+        const RunResult r = runWorkload(cfg, *wl, opts);
+        EXPECT_GT(r.totalTicks, 0u) << archName(arch);
+        EXPECT_EQ(static_cast<int>(r.phases.size()), wl->numPhases())
+            << archName(arch);
+        warnResetForTest();
+    }
+}
+
+} // namespace
+} // namespace pimdsm
