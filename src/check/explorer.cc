@@ -1,0 +1,399 @@
+#include "check/explorer.hh"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "machine/machine.hh"
+#include "machine/reconfig.hh"
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+namespace
+{
+
+/** Ticks per settle step: far beyond any handler/disk latency chain,
+ *  far below the pushed-out fault timeouts. */
+constexpr Tick kSettleWindow = 1u << 20;
+
+/** Timeout/sweep horizon the explorer pushes past: it drives recovery
+ *  explicitly via retryStalledTransactions instead of simulated time. */
+constexpr Tick kFarFuture = Tick{1} << 50;
+
+/** Forced-retry rounds before a stalled schedule is declared wedged. */
+constexpr int kMaxRetryRounds = 16;
+
+/** One executable option at a decision point. */
+struct Choice
+{
+    enum class Kind
+    {
+        Deliver,
+        Drop,
+        Dup,
+        Kill,
+    };
+    Kind kind = Kind::Deliver;
+    /** Deliver/Drop/Dup: which pair queue's head. */
+    std::pair<NodeId, NodeId> queue{kInvalidNode, kInvalidNode};
+    /** Kill: the D-node to fail-stop. */
+    NodeId victim = kInvalidNode;
+};
+
+/** One schedule: a fresh machine run replaying a choice prefix. */
+class ScheduleRun
+{
+  public:
+    ScheduleRun(const ExplorerConfig &cfg, const std::vector<int> &prefix)
+        : cfg_(cfg), prefix_(prefix), m_(cfg.machine)
+    {
+        m_.setSendInterceptor([this](const Message &msg) {
+            queues_[{msg.src, msg.dst}].push_back(msg);
+            return true;
+        });
+    }
+
+    void
+    execute()
+    {
+        try {
+            executeInner();
+        } catch (const PanicError &e) {
+            std::ostringstream os;
+            os << e.what() << "\n  model-check schedule (" << trace_.size()
+               << " choices):";
+            for (const std::string &s : trace_)
+                os << "\n    " << s;
+            throw PanicError(os.str());
+        }
+    }
+
+    /** Choice indices actually taken, in order. */
+    const std::vector<int> &taken() const { return taken_; }
+    /** Branching factor per decision (recorded up to maxDecisionDepth;
+     *  parallel to the first counts().size() entries of taken()). */
+    const std::vector<int> &counts() const { return counts_; }
+    bool faultUsed() const { return faultsUsed_ > 0; }
+
+  private:
+    void
+    settle()
+    {
+        m_.eq().runUntil(m_.eq().curTick() + kSettleWindow);
+    }
+
+    bool
+    allQuiescent() const
+    {
+        if (completions_ != cfg_.accesses.size())
+            return false;
+        for (NodeId n : m_.computeNodes()) {
+            if (!m_.compute(n)->quiescent())
+                return false;
+        }
+        return true;
+    }
+
+    std::vector<Choice>
+    enumerateChoices() const
+    {
+        std::vector<Choice> out;
+        for (const auto &[key, q] : queues_) {
+            if (q.empty())
+                continue;
+            Choice c;
+            c.kind = Choice::Kind::Deliver;
+            c.queue = key;
+            out.push_back(c);
+        }
+        const bool budget = cfg_.faultMode != ExplorerFaultMode::None &&
+                            faultsUsed_ < cfg_.faultBudget;
+        if (budget && cfg_.faultMode == ExplorerFaultMode::DropDup) {
+            for (const auto &[key, q] : queues_) {
+                if (q.empty())
+                    continue;
+                const MsgClass cls = msgClassOf(q.front().type);
+                if (msgClassDroppable(cls)) {
+                    Choice c;
+                    c.kind = Choice::Kind::Drop;
+                    c.queue = key;
+                    out.push_back(c);
+                }
+                if (msgClassDupSafe(cls)) {
+                    Choice c;
+                    c.kind = Choice::Kind::Dup;
+                    c.queue = key;
+                    out.push_back(c);
+                }
+            }
+        }
+        if (cfg_.faultMode == ExplorerFaultMode::Death &&
+            faultsUsed_ == 0 && !allQuiescent()) {
+            const auto dnodes = m_.directoryNodes();
+            if (dnodes.size() >= 2) {
+                for (NodeId d : dnodes) {
+                    Choice c;
+                    c.kind = Choice::Kind::Kill;
+                    c.victim = d;
+                    out.push_back(c);
+                }
+            }
+        }
+        return out;
+    }
+
+    std::string
+    describe(const Choice &c) const
+    {
+        std::ostringstream os;
+        switch (c.kind) {
+          case Choice::Kind::Deliver:
+          case Choice::Kind::Drop:
+          case Choice::Kind::Dup: {
+            const char *verb = c.kind == Choice::Kind::Deliver ? "deliver"
+                               : c.kind == Choice::Kind::Drop  ? "drop"
+                                                               : "dup";
+            os << verb << " "
+               << queues_.at(c.queue).front().toString();
+            break;
+          }
+          case Choice::Kind::Kill:
+            os << "kill D-node " << c.victim;
+            break;
+        }
+        return os.str();
+    }
+
+    void
+    apply(const Choice &c)
+    {
+        switch (c.kind) {
+          case Choice::Kind::Deliver: {
+            auto &q = queues_[c.queue];
+            const Message msg = q.front();
+            q.pop_front();
+            m_.deliverDirect(msg);
+            break;
+          }
+          case Choice::Kind::Drop: {
+            auto &q = queues_[c.queue];
+            q.pop_front();
+            m_.stats().add("mc.dropped");
+            ++faultsUsed_;
+            break;
+          }
+          case Choice::Kind::Dup: {
+            // The duplicate rides right behind the original in the
+            // pair's FIFO: deliver the head once and leave the copy at
+            // the head, so its delivery is a later choice that can
+            // interleave with other pairs' traffic.
+            auto &q = queues_[c.queue];
+            m_.deliverDirect(q.front());
+            m_.stats().add("mc.duplicated");
+            ++faultsUsed_;
+            break;
+          }
+          case Choice::Kind::Kill: {
+            failOverDNode(m_, c.victim);
+            // In-flight traffic to the dead node would be dropped at
+            // delivery anyway; purge it so it stops generating
+            // meaningless delivery choices. Traffic it already sent
+            // is on the wire and stays deliverable.
+            for (auto &[key, q] : queues_) {
+                if (key.second == c.victim)
+                    q.clear();
+            }
+            ++faultsUsed_;
+            break;
+          }
+        }
+    }
+
+    /** The schedule stalled with no message in flight: drive the
+     *  recovery paths the pushed-out timeouts would have driven. */
+    void
+    forceRetries()
+    {
+        if (cfg_.faultMode == ExplorerFaultMode::None)
+            panic("model-check deadlock without any injected fault\n" +
+                  m_.stuckDiagnostic());
+        if (++retryRounds_ > kMaxRetryRounds)
+            panic("model-check schedule wedged: " +
+                  std::to_string(kMaxRetryRounds) +
+                  " forced-retry rounds made no progress\n" +
+                  m_.stuckDiagnostic());
+        int sent = 0;
+        for (NodeId n : m_.computeNodes())
+            sent += m_.compute(n)->retryStalledTransactions(true);
+        trace_.push_back("force-retry round " +
+                         std::to_string(retryRounds_) + " (" +
+                         std::to_string(sent) + " resends)");
+        settle();
+    }
+
+    void
+    checkTerminal()
+    {
+        if (completions_ != cfg_.accesses.size())
+            panic("model-check schedule lost accesses: " +
+                  std::to_string(completions_) + "/" +
+                  std::to_string(cfg_.accesses.size()) + " completed\n" +
+                  m_.stuckDiagnostic());
+        m_.checkInvariants();
+        if (cfg_.quiescentScan)
+            m_.checkCoherenceQuiescent();
+
+        // Sequential reference: every scripted write must have
+        // committed exactly once, so each touched line's final version
+        // is its script write count (dedup must stop retried or
+        // duplicated requests from committing twice).
+        std::map<Addr, Version> expect;
+        const int line_bytes = m_.config().mem.lineBytes;
+        for (const ScriptedAccess &a : cfg_.accesses) {
+            const Addr line =
+                blockAlign(a.addr, static_cast<std::uint64_t>(line_bytes));
+            expect.emplace(line, 0);
+            if (a.isWrite)
+                ++expect[line];
+        }
+        for (const auto &[line, v] : expect) {
+            const Version got = m_.latestVersion(line);
+            if (got != v) {
+                std::ostringstream os;
+                os << "sequential reference mismatch on line 0x"
+                   << std::hex << line << std::dec << ": committed v"
+                   << got << ", script wrote " << v << " times";
+                panic(os.str() + m_.oracle().lineHistory(line));
+            }
+        }
+
+        if (m_.oracle().violations() != 0)
+            panic("model-check schedule ended with " +
+                  std::to_string(m_.oracle().violations()) +
+                  " coherence violations (degraded mode)");
+    }
+
+    void
+    executeInner()
+    {
+        for (std::size_t i = 0; i < cfg_.accesses.size(); ++i) {
+            const ScriptedAccess a = cfg_.accesses[i];
+            // Stagger issues by one tick for a deterministic order.
+            m_.eq().schedule(static_cast<Tick>(i), [this, a] {
+                m_.compute(a.node)->access(
+                    a.addr, a.isWrite,
+                    [this](Tick, ReadService) { ++completions_; });
+            });
+        }
+        settle();
+
+        while (true) {
+            const std::vector<Choice> choices = enumerateChoices();
+            if (choices.empty()) {
+                if (allQuiescent())
+                    break;
+                forceRetries();
+                continue;
+            }
+            const int depth = static_cast<int>(taken_.size());
+            int pick = 0;
+            if (depth < static_cast<int>(prefix_.size()))
+                pick = prefix_[depth];
+            if (pick >= static_cast<int>(choices.size()))
+                panic("model-check replay prefix names choice " +
+                      std::to_string(pick) + " of " +
+                      std::to_string(choices.size()) +
+                      " (nondeterministic run?)");
+            if (depth < cfg_.maxDecisionDepth)
+                counts_.push_back(static_cast<int>(choices.size()));
+            taken_.push_back(pick);
+            trace_.push_back(describe(choices[pick]));
+            apply(choices[pick]);
+            settle();
+        }
+        checkTerminal();
+    }
+
+    const ExplorerConfig &cfg_;
+    const std::vector<int> &prefix_;
+    Machine m_;
+    std::map<std::pair<NodeId, NodeId>, std::deque<Message>> queues_;
+    std::vector<int> taken_;
+    std::vector<int> counts_;
+    std::vector<std::string> trace_;
+    std::size_t completions_ = 0;
+    int faultsUsed_ = 0;
+    int retryRounds_ = 0;
+};
+
+} // namespace
+
+Explorer::Explorer(ExplorerConfig cfg) : cfg_(std::move(cfg))
+{
+    if (cfg_.accesses.empty())
+        fatal("explorer needs at least one scripted access");
+    if (cfg_.maxDecisionDepth <= 0)
+        fatal("explorer needs a positive decision depth");
+    if (cfg_.faultMode != ExplorerFaultMode::None && cfg_.faultBudget < 1)
+        fatal("fault exploration needs a positive fault budget");
+    MachineConfig &mc = cfg_.machine;
+    mc.check.enabled = true;
+    if (cfg_.faultMode != ExplorerFaultMode::None) {
+        // Arm txn seqs / dedup / retry bookkeeping but push the
+        // simulated timers past the horizon: the explorer injects
+        // faults and drives recovery at its own decision points.
+        mc.faults.armRecovery = true;
+        mc.faults.timeoutTicks = kFarFuture;
+        mc.faults.sweepInterval = kFarFuture;
+    }
+    if (cfg_.faultMode == ExplorerFaultMode::Death) {
+        if (mc.arch != ArchKind::Agg)
+            fatal("D-node death exploration requires an AGG machine");
+        if (mc.numDNodes < 2)
+            fatal("D-node death exploration needs a failover survivor");
+    }
+    mc.validate();
+    for (const ScriptedAccess &a : cfg_.accesses) {
+        if (a.node < 0 || a.node >= mc.totalNodes())
+            fatal("scripted access names a node outside the machine");
+    }
+}
+
+ExplorerResult
+Explorer::run()
+{
+    ExplorerResult res;
+    std::vector<int> prefix;
+    while (true) {
+        ScheduleRun sched(cfg_, prefix);
+        sched.execute();
+        ++res.schedules;
+        res.decisions += sched.taken().size();
+        if (sched.faultUsed())
+            ++res.faultSchedules;
+        if (sched.taken().size() > res.maxDepthSeen)
+            res.maxDepthSeen = sched.taken().size();
+
+        // Backtrack to the deepest decision with an unexplored sibling.
+        const std::vector<int> &taken = sched.taken();
+        const std::vector<int> &counts = sched.counts();
+        int i = static_cast<int>(counts.size()) - 1;
+        while (i >= 0 && taken[i] + 1 >= counts[i])
+            --i;
+        if (i < 0)
+            break; // choice tree exhausted
+        if (res.schedules >= cfg_.maxSchedules) {
+            res.truncated = true;
+            break;
+        }
+        prefix.assign(taken.begin(), taken.begin() + i);
+        prefix.push_back(taken[i] + 1);
+    }
+    return res;
+}
+
+} // namespace pimdsm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Protocol model-check explorer.
+ *
+ * Runs a tiny scripted workload (a few accesses to one or two lines on
+ * a 2-4 node machine) under every message-delivery ordering the mesh
+ * could legally produce, optionally extended with a single injected
+ * fault (one message drop, one duplicate, or one D-node fail-stop) per
+ * schedule. Every outgoing message is captured at the Machine::send
+ * interception point into per-(src, dst) FIFO queues — the mesh never
+ * reorders messages within a pair (XY routing + FIFO links), so the
+ * legal delivery choices at any instant are exactly the queue heads.
+ *
+ * Exploration is stateless DFS with choice-prefix replay: each schedule
+ * is a fresh deterministic Machine run that replays a recorded prefix
+ * of choice indices and then defaults to choice 0, recording the
+ * branching factor at each decision so the driver can backtrack to the
+ * deepest unexplored sibling.
+ *
+ * Every completed schedule must reach quiescence (all MSHRs and
+ * writebacks drained, every scripted access completed), pass the
+ * coherence oracle with zero violations, pass the quiescent whole-
+ * machine coherence scan, and end with each touched line's committed
+ * version equal to the sequential reference (the number of scripted
+ * writes to it — no write lost, none applied twice). Any failure
+ * panics with the full choice sequence of the offending schedule.
+ */
+
+#ifndef PIMDSM_CHECK_EXPLORER_HH
+#define PIMDSM_CHECK_EXPLORER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+/** One scripted access of the model-check workload. */
+struct ScriptedAccess
+{
+    NodeId node = 0;
+    Addr addr = 0;
+    bool isWrite = false;
+};
+
+/** What the explorer may inject on top of delivery reordering. */
+enum class ExplorerFaultMode
+{
+    None,    ///< pure delivery-order exploration
+    DropDup, ///< plus one drop or duplicate of a recoverable message
+    Death,   ///< plus one D-node fail-stop + failover (AGG only)
+};
+
+struct ExplorerConfig
+{
+    /** Tiny machine shape (2-4 nodes; validated by the caller). The
+     *  explorer forces check.enabled and, for fault modes, arms the
+     *  recovery machinery with timeouts pushed past the horizon. */
+    MachineConfig machine;
+    std::vector<ScriptedAccess> accesses;
+    ExplorerFaultMode faultMode = ExplorerFaultMode::None;
+    /** Faults injectable per schedule (DropDup only; Death always
+     *  kills at most one node). Higher budgets explore fault *pairs* —
+     *  e.g. dropping both a reply and the retried request. */
+    int faultBudget = 1;
+    /** Stop after this many complete schedules (the frontier may be
+     *  unexhausted; ExplorerResult::truncated reports that). */
+    std::uint64_t maxSchedules = 100000;
+    /** Decisions beyond this depth take choice 0 without branching. */
+    int maxDecisionDepth = 64;
+    /** Run the full quiescent coherence scan at every terminal. */
+    bool quiescentScan = true;
+};
+
+struct ExplorerResult
+{
+    std::uint64_t schedules = 0;      ///< distinct complete schedules
+    std::uint64_t decisions = 0;      ///< total choices taken
+    std::uint64_t faultSchedules = 0; ///< schedules containing a fault
+    std::uint64_t maxDepthSeen = 0;   ///< deepest decision sequence
+    bool truncated = false;           ///< hit maxSchedules early
+};
+
+class Explorer
+{
+  public:
+    /** Throws FatalError on a nonsensical configuration. */
+    explicit Explorer(ExplorerConfig cfg);
+
+    /**
+     * Explore until the choice tree is exhausted or maxSchedules is
+     * reached. Throws PanicError (with the offending schedule's choice
+     * trace appended) on any coherence violation, lost access,
+     * deadlock, or sequential-reference mismatch.
+     */
+    ExplorerResult run();
+
+  private:
+    ExplorerConfig cfg_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_CHECK_EXPLORER_HH

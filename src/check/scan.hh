@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Whole-machine invariant scans: structural properties that need a
+ * snapshot of every node at once, complementing the event-driven
+ * CoherenceOracle (check/oracle.hh). See DESIGN.md, "Global coherence
+ * invariants".
+ */
+
+#ifndef PIMDSM_CHECK_SCAN_HH
+#define PIMDSM_CHECK_SCAN_HH
+
+namespace pimdsm
+{
+
+class Machine;
+
+/**
+ * Invariants that hold at every instant, even mid-transaction:
+ *
+ *  - D-node slot conservation: FreeList + SharedList + home-master
+ *    slots partition the Data array, every directory localPtr refers
+ *    to a live slot storing that line, no slot is referenced twice,
+ *    and no occupied slot is unreferenced (a leak);
+ *  - oracle/storage agreement: the shadow model's holder table matches
+ *    the real cache/tagged-memory arrays in both directions (catches a
+ *    protocol path that mutated state without its oracle hook, and a
+ *    mutated path that acked without acting).
+ *
+ * Panics with diagnostics on any violation.
+ */
+void checkGlobalInvariants(const Machine &m);
+
+/**
+ * Invariants that hold only when the machine is quiescent (no busy
+ * directory entries, all MSHRs drained): full directory vs. node-state
+ * agreement (Dirty => exactly the owner holds Dirty; Shared => every
+ * valid copy is a tracked sharer or the master; Uncached => no copies),
+ * every surviving copy carries the latest committed version, and the
+ * latest data is reachable somewhere (owner, master, home, or disk).
+ *
+ * Runs checkGlobalInvariants first. Panics on any violation.
+ */
+void checkQuiescentCoherence(const Machine &m);
+
+} // namespace pimdsm
+
+#endif // PIMDSM_CHECK_SCAN_HH

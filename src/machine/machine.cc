@@ -3,6 +3,7 @@
 #include <sstream>
 #include <vector>
 
+#include "check/scan.hh"
 #include "sim/log.hh"
 
 namespace pimdsm
@@ -21,6 +22,7 @@ Machine::Machine(const MachineConfig &cfg)
     faults_.init(cfg_.faults, &stats_);
     if (faults_.active())
         mesh_.setFaultPlan(&faults_);
+    oracle_.init(cfg_.check, cfg_.faults.enabled(), &stats_);
 
     if (cfg_.arch == ArchKind::Agg)
         buildAgg();
@@ -167,26 +169,13 @@ Machine::send(Message msg)
         return;
     }
 
-    auto deliver = [this, msg] {
-        if (isDead(msg.dst)) {
-            // Died while the message was in flight.
-            stats_.add("fault.msg_to_dead");
-            return;
-        }
-        if (Trace::enabled("proto"))
-            Trace::print(eq_.curTick(), "proto", msg.toString());
-        if (msgBoundForHome(msg.type)) {
-            if (!homes_[msg.dst])
-                panic("home-bound message to a pure compute node: " +
-                      msg.toString());
-            homes_[msg.dst]->handleMessage(msg);
-        } else {
-            if (!computes_[msg.dst])
-                panic("compute-bound message to a pure D-node: " +
-                      msg.toString());
-            computes_[msg.dst]->handleMessage(msg);
-        }
-    };
+    // Model-check explorer: take custody of the message instead of
+    // scheduling it; the explorer re-injects it via deliverDirect in
+    // whatever order the current schedule dictates.
+    if (interceptor_ && interceptor_(msg))
+        return;
+
+    auto deliver = [this, msg] { deliverDirect(msg); };
 
     if (msg.src == msg.dst) {
         // On-chip: bypass the network entirely.
@@ -195,6 +184,40 @@ Machine::send(Message msg)
     }
     mesh_.send(msg.src, msg.dst, msg.payloadBytes(cfg_.mem.lineBytes),
                std::move(deliver), msgClassOf(msg.type));
+}
+
+void
+Machine::deliverDirect(const Message &msg)
+{
+    if (isDead(msg.dst)) {
+        // Died while the message was in flight.
+        stats_.add("fault.msg_to_dead");
+        return;
+    }
+    if (oracle_.enabled())
+        oracle_.noteMessage(eq_.curTick(), msg);
+    if (Trace::enabled("proto"))
+        Trace::print(eq_.curTick(), "proto", msg.toString());
+    if (msgBoundForHome(msg.type)) {
+        if (!homes_[msg.dst])
+            panic("home-bound message to a pure compute node: " +
+                  msg.toString());
+        homes_[msg.dst]->handleMessage(msg);
+    } else {
+        if (!computes_[msg.dst])
+            panic("compute-bound message to a pure D-node: " +
+                  msg.toString());
+        computes_[msg.dst]->handleMessage(msg);
+    }
+}
+
+Version
+Machine::bumpVersion(Addr line)
+{
+    const Version v = ++versions_[line];
+    if (oracle_.enabled())
+        oracle_.noteWriteCommit(eq_.curTick(), line, v);
+    return v;
 }
 
 std::uint64_t
@@ -298,6 +321,13 @@ Machine::checkInvariants() const
         if (computes_[n])
             computes_[n]->checkInclusion();
     }
+    checkGlobalInvariants(*this);
+}
+
+void
+Machine::checkCoherenceQuiescent() const
+{
+    checkQuiescentCoherence(*this);
 }
 
 } // namespace pimdsm

@@ -8,10 +8,12 @@
 #ifndef PIMDSM_MACHINE_MACHINE_HH
 #define PIMDSM_MACHINE_MACHINE_HH
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "check/oracle.hh"
 #include "machine/page_map.hh"
 #include "net/mesh.hh"
 #include "sim/fault.hh"
@@ -48,10 +50,15 @@ class Machine : public ProtoContext
     const MachineConfig &config() const override { return cfg_; }
     NodeId homeOf(Addr line_addr, NodeId toucher) override;
     void send(Message msg) override;
-    Version bumpVersion(Addr line) override { return ++versions_[line]; }
+    Version bumpVersion(Addr line) override;
     Version latestVersion(Addr line) const override;
     StatSet &stats() override { return stats_; }
     std::uint64_t computeNodeMask() const override;
+    CoherenceOracle *
+    checker() override
+    {
+        return oracle_.enabled() ? &oracle_ : nullptr;
+    }
 
     // --- topology ---
     int totalNodes() const { return static_cast<int>(roles_.size()); }
@@ -83,6 +90,29 @@ class Machine : public ProtoContext
     PageMap &pageMap() { return pageMap_; }
     FaultPlan &faultPlan() { return faults_; }
 
+    CoherenceOracle &oracle() { return oracle_; }
+    const CoherenceOracle &oracle() const { return oracle_; }
+
+    // --- model-check explorer hooks (see check/explorer.hh) ---
+    /**
+     * Intercept every outgoing message after the dead-source filter
+     * but before mesh scheduling. Return true to take custody (the
+     * interceptor later re-injects via deliverDirect), false to let
+     * the message take the normal mesh path.
+     */
+    using SendInterceptor = std::function<bool(const Message &)>;
+    void setSendInterceptor(SendInterceptor fn)
+    {
+        interceptor_ = std::move(fn);
+    }
+
+    /**
+     * Deliver @p msg to its destination controller immediately (the
+     * tail of the normal mesh path; also the explorer's delivery
+     * primitive, bypassing mesh timing entirely).
+     */
+    void deliverDirect(const Message &msg);
+
     // --- fail-stop node deaths ---
     bool isDead(NodeId n) const { return dead_[n] != 0; }
     /** Fail-stop @p n: all traffic from/to it is dropped from now on
@@ -104,8 +134,13 @@ class Machine : public ProtoContext
     /** Figure 7 aggregation over active compute nodes. */
     ReadLatencyStats aggregateReadStats() const;
 
-    /** Directory + inclusion invariants on every node (tests). */
+    /** Directory + inclusion + global (cross-node) invariants on every
+     *  node; safe at any instant, including mid-transaction (tests). */
     void checkInvariants() const;
+
+    /** Full directory vs. node-state agreement plus value coherence;
+     *  only valid once the machine is quiescent (see check/scan.hh). */
+    void checkCoherenceQuiescent() const;
 
     /** Dump transient protocol state (deadlock diagnostics). */
     void dumpState(std::ostream &os) const;
@@ -133,6 +168,8 @@ class Machine : public ProtoContext
     FaultPlan faults_;
     /** Fail-stopped nodes (vector<char>: avoid vector<bool>). */
     std::vector<char> dead_;
+    CoherenceOracle oracle_;
+    SendInterceptor interceptor_;
 };
 
 } // namespace pimdsm

@@ -127,6 +127,8 @@ failOverDNode(Machine &m, NodeId dead)
     const auto survivors = m.directoryNodes();
     if (survivors.empty())
         fatal("failOverDNode: no surviving directory node");
+    if (m.oracle().enabled())
+        m.oracle().noteFailover(m.eq().curTick(), dead, survivors[0]);
 
     FailoverResult res;
 

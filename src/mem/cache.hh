@@ -80,6 +80,16 @@ class Cache
     /** Drop everything (role change / thread switch). */
     void invalidateAll() { array_.invalidateAll(); }
 
+    /** Visit every valid line (coherence-oracle and census scans). */
+    void
+    forEachValidLine(const std::function<void(const CacheLine &)> &fn) const
+    {
+        array_.forEach([&](const CacheLine &l) {
+            if (l.valid())
+                fn(l);
+        });
+    }
+
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }
     std::uint64_t writebacks() const { return writebacks_; }

@@ -77,6 +77,16 @@ class TaggedMemory
     std::uint64_t offChipHits() const { return offChipHits_; }
     std::uint64_t migrations() const { return migrations_; }
 
+    /** Visit every valid line (coherence-oracle and census scans). */
+    void
+    forEachValidLine(const std::function<void(const CacheLine &)> &fn) const
+    {
+        array_.forEach([&](const CacheLine &l) {
+            if (l.valid())
+                fn(l);
+        });
+    }
+
     /** Verify the per-set on-chip way count invariant (tests). */
     bool checkOnChipInvariant() const;
 

@@ -110,7 +110,11 @@ Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver,
            MsgClass cls)
 {
     if (src < 0 || src >= numNodes_ || dst < 0 || dst >= numNodes_)
-        panic("mesh send with out-of-range node id");
+        panic("mesh send with out-of-range node id: " +
+              std::to_string(src) + " -> " + std::to_string(dst) +
+              " (mesh has " + std::to_string(numNodes_) + " nodes, " +
+              std::to_string(payload_bytes) + "-byte " +
+              msgClassName(cls) + " message)");
 
     FaultDecision fd;
     if (faults_ && faults_->active() && cls != MsgClass::Immune &&

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "check/oracle.hh"
 #include "sim/log.hh"
 
 namespace pimdsm
@@ -274,21 +275,42 @@ AggDNodeHome::absorbData(Addr line, DirEntry &e, Version v)
             panic("SharedList reuse of a line whose master is home");
         victim->localPtr = kNilPtr;
         victim->homeHasData = false;
+        if (CoherenceOracle *o = ctx_.checker()) {
+            o->noteSlotEvent(ctx_.eq().curTick(), self_, dropped, slot,
+                             "reuse-drop");
+            o->noteDirEntry(ctx_.eq().curTick(), self_, dropped, *victim);
+        }
     }
     e.localPtr = slot;
     e.homeHasData = true;
     e.version = v;
+    if (CoherenceOracle *o = ctx_.checker())
+        o->noteSlotEvent(ctx_.eq().curTick(), self_, line, slot, "alloc");
     return extra + dataAccessLatency(e);
 }
 
 void
-AggDNodeHome::releaseData(Addr, DirEntry &e)
+AggDNodeHome::releaseData(Addr line, DirEntry &e)
 {
     e.pagedOut = false;
     if (e.localPtr == kNilPtr) {
         e.homeHasData = false;
         return;
     }
+    if (ctx_.config().check.mutation == ProtoMutation::LeakSlot &&
+        !leakedOnce_) {
+        // Injected bug: forget to return the Data slot to FreeList.
+        // The slot stays "used" with no directory entry referencing
+        // it, which the slot-conservation scan must flag.
+        leakedOnce_ = true;
+        ctx_.stats().add("check.mutation.leak_slot");
+        e.localPtr = kNilPtr;
+        e.homeHasData = false;
+        return;
+    }
+    if (CoherenceOracle *o = ctx_.checker())
+        o->noteSlotEvent(ctx_.eq().curTick(), self_, line, e.localPtr,
+                         "free");
     store_.free(e.localPtr);
     e.localPtr = kNilPtr;
     e.homeHasData = false;
@@ -400,6 +422,11 @@ AggDNodeHome::pageOutEpisode()
         e->homeHasData = false;
         e->pagedOut = true;
         ++linesPagedOut_;
+        if (CoherenceOracle *o = ctx_.checker()) {
+            o->noteSlotEvent(ctx_.eq().curTick(), self_, line, slot,
+                             "page-out");
+            o->noteDirEntry(ctx_.eq().curTick(), self_, line, *e);
+        }
     }
     if (victims.empty())
         return 0;

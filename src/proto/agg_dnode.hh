@@ -176,6 +176,9 @@ class AggDNodeHome : public HomeBase
 
     DNodeStore store_;
     std::uint64_t onChipLines_;
+    /** LeakSlot mutation fires at most once: a single leaked slot is
+     *  enough for the conservation scan and keeps the run bounded. */
+    bool leakedOnce_ = false;
     std::uint64_t sharedListReuses_ = 0;
     std::uint64_t pageOutEpisodes_ = 0;
     std::uint64_t linesPagedOut_ = 0;

@@ -60,6 +60,7 @@ CachedMemCompute::evictWay(CacheLine &way)
     const bool residence = way.onChip;
     way.reset();
     way.onChip = residence;
+    noteState(victim, cohOwned(st) ? "evict-wb" : "evict-drop");
 }
 
 void
@@ -167,12 +168,14 @@ CachedMemCompute::handleInject(const Message &msg)
 
     if (way->valid() && way->lineAddr != line) {
         // Displace a non-master shared copy silently.
-        l1_.invalidateBlock(way->lineAddr, cfg().mem.lineBytes);
-        l2_.invalidateLine(way->lineAddr);
+        const Addr displaced = way->lineAddr;
+        l1_.invalidateBlock(displaced, cfg().mem.lineBytes);
+        l2_.invalidateLine(displaced);
         ++sharedDrops_;
         const bool residence = way->onChip;
         way->reset();
         way->onChip = residence;
+        noteState(displaced, "inject-displace");
     }
     if (!way->valid())
         mem_.install(*way, line, CohState::SharedMaster);
@@ -180,6 +183,7 @@ CachedMemCompute::handleInject(const Message &msg)
                                  : CohState::Dirty;
     way->version = msg.version;
     ++injectsAccepted_;
+    noteState(line, "inject");
 
     resp.type = MsgType::InjectAck;
     const Tick when = now + msgEngineLatency_ + cfg().mem.onChipLatency;
@@ -202,6 +206,7 @@ CachedMemCompute::handleMasterGrant(const Message &msg)
 
     if (way && way->state == CohState::Shared) {
         way->state = CohState::SharedMaster;
+        noteState(msg.lineAddr, "master-grant");
         resp.type = MsgType::InjectAck;
         resp.masterClean = true;
     } else {
@@ -217,6 +222,16 @@ CachedMemCompute::forEachOwnedLine(
     const std::function<void(Addr, CohState, Version)> &fn)
 {
     mem_.array().forEach([&](CacheLine &l) {
+        if (l.valid())
+            fn(l.lineAddr, l.state, l.version);
+    });
+}
+
+void
+CachedMemCompute::forEachValidLine(
+    const std::function<void(Addr, CohState, Version)> &fn) const
+{
+    mem_.array().forEach([&](const CacheLine &l) {
         if (l.valid())
             fn(l.lineAddr, l.state, l.version);
     });

@@ -37,6 +37,10 @@ class CachedMemCompute : public ComputeBase
      *  home to check whether its own attraction memory can serve). */
     CohState peekState(Addr line) const { return nodeState(line); }
 
+    void forEachValidLine(
+        const std::function<void(Addr, CohState, Version)> &fn)
+        const override;
+
   protected:
     CohState nodeState(Addr line) const override;
     Version nodeVersion(Addr line) const override;

@@ -70,6 +70,7 @@ ComaHome::serveColdRead(Addr line, DirEntry &e, const Message &req,
     e.state = DirEntry::State::Shared;
     e.addSharer(req.src);
     e.busy = false; // no third party involved
+    noteDir(line, e);
     sendReplyTracked(when, r, req);
 }
 
@@ -112,6 +113,7 @@ ComaHome::handleWriteBack(const Message &msg)
     e.masterOut = false;
     e.state = e.sharers != 0 ? DirEntry::State::Shared
                              : DirEntry::State::Uncached;
+    noteDir(line, e);
 
     PendingInject pi;
     pi.version = msg.version;
@@ -172,6 +174,7 @@ ComaHome::stepInjection(Addr line, PendingInject &pi)
         DirEntry &e = entryFor(line);
         e.pagedOut = true;
         e.version = pi.version;
+        noteDir(line, e);
         pendingInjects_.erase(line);
         finishTxn(line);
         return;
@@ -217,6 +220,7 @@ ComaHome::handleInjectResponse(const Message &msg)
             e.owner = msg.src;
             e.sharers = 0;
         }
+        noteDir(msg.lineAddr, e);
         const Addr line = msg.lineAddr;
         pendingInjects_.erase(it);
         finishTxn(line);
@@ -229,6 +233,7 @@ ComaHome::handleInjectResponse(const Message &msg)
         e.dropSharer(msg.src);
         if (e.sharers == 0 && e.state == DirEntry::State::Shared)
             e.state = DirEntry::State::Uncached;
+        noteDir(msg.lineAddr, e);
     }
     stepInjection(msg.lineAddr, pi);
 }

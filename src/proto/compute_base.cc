@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "check/oracle.hh"
 #include "sim/log.hh"
 
 namespace pimdsm
@@ -22,6 +23,24 @@ ComputeBase::ComputeBase(ProtoContext &ctx, NodeId self)
       maxMshrs_(ctx.config().proc.maxOutstandingLoads),
       faultsOn_(ctx.config().faults.enabled())
 {
+}
+
+void
+ComputeBase::noteState(Addr line, const char *why)
+{
+    CoherenceOracle *o = ctx_.checker();
+    if (!o)
+        return;
+    const CohState st = nodeState(line);
+    o->noteNodeState(ctx_.eq().curTick(), self_, line, st,
+                     cohValid(st) ? nodeVersion(line) : 0, why);
+}
+
+void
+ComputeBase::noteWipe(const char *why)
+{
+    if (CoherenceOracle *o = ctx_.checker())
+        o->noteNodeWipe(ctx_.eq().curTick(), self_, why);
 }
 
 Addr
@@ -311,6 +330,7 @@ ComputeBase::finishAccess(Mshr &m)
                                     : CohState::Shared);
     if (m.replyHasData) {
         installLine(line, new_state, m.version);
+        noteState(line, "reply-install");
     } else if (!cohValid(nodeState(line))) {
         // Our Shared copy was displaced while the upgrade was in
         // flight (the home still saw us as a sharer). Reconstitute the
@@ -318,10 +338,12 @@ ComputeBase::finishAccess(Mshr &m)
         // round trip.
         ctx_.stats().add("compute.upgrade_after_displacement");
         installLine(line, CohState::Dirty, m.version);
+        noteState(line, "upgrade-reinstall");
     } else {
         setNodeState(line, CohState::Dirty, m.version);
         // Keep the caches inclusive under the upgraded line.
         fillL2(line, CohState::Dirty, m.version, false);
+        noteState(line, "upgrade");
     }
 
     // Functional coherence check. For blocked transactions the home
@@ -349,6 +371,16 @@ ComputeBase::finishAccess(Mshr &m)
                   std::to_string(m.issueTick) + " now@" +
                   std::to_string(ctx_.eq().curTick()));
         }
+    }
+
+    // Data-value coherence: check the observed version against the
+    // shadow memory's commit history (local cache hits may legally be
+    // stale while an invalidation is in flight, so only the miss path
+    // reports).
+    if (!m.isWrite) {
+        if (CoherenceOracle *o = ctx_.checker())
+            o->noteReadObserved(now, self_, line, m.version,
+                                m.issueTick);
     }
 
     ReadService svc;
@@ -404,7 +436,15 @@ void
 ComputeBase::handleInval(const Message &msg)
 {
     ++invalsReceived_;
-    invalidateLocal(msg.lineAddr);
+    if (cfg().check.mutation == ProtoMutation::SkipInval) {
+        // Deliberate protocol mutation (oracle self-test): acknowledge
+        // without giving up the copy. The stale survivor is caught by
+        // the quiescent directory-agreement scan.
+        ctx_.stats().add("check.mutation.skip_inval");
+    } else {
+        invalidateLocal(msg.lineAddr);
+        noteState(msg.lineAddr, "inval");
+    }
 
     Message ack;
     ack.type = MsgType::InvalAck;
@@ -465,8 +505,10 @@ ComputeBase::handleFwd(const Message &msg)
     reply.txnSeq = msg.txnSeq;
 
     if (msg.fwdKind == FwdKind::Read) {
-        if (live)
+        if (live) {
             setNodeState(line, downgradeState(), data_version);
+            noteState(line, "fwd-downgrade");
+        }
         reply.version = data_version;
         reply.ackCount = 0;
         ctx_.eq().schedule(when, [this, reply] { ctx_.send(reply); });
@@ -481,8 +523,10 @@ ComputeBase::handleFwd(const Message &msg)
             ctx_.eq().schedule(when, [this, sw] { ctx_.send(sw); });
         }
     } else {
-        if (live)
+        if (live) {
             invalidateLocal(line);
+            noteState(line, "fwd-inval");
+        }
         reply.version = msg.version; // the new write generation
         reply.ackCount = msg.ackCount;
         ctx_.eq().schedule(when, [this, reply] { ctx_.send(reply); });
@@ -607,6 +651,7 @@ ComputeBase::flushAll(std::function<void()> done)
     invalidateAllLocal();
     l1_.invalidateAll();
     l2_.invalidateAll();
+    noteWipe("flush");
 
     // Also wait for writebacks that were already in flight when the
     // flush started.
@@ -635,7 +680,36 @@ ComputeBase::drainForReconfig()
     invalidateAllLocal();
     l1_.invalidateAll();
     l2_.invalidateAll();
+    noteWipe("reconfig-drain");
     return lines;
+}
+
+int
+ComputeBase::retryStalledTransactions(bool force_acks)
+{
+    int sent = 0;
+    std::vector<Addr> force_complete;
+    for (auto &[line, m] : mshrs_) {
+        if (m.replyArrived) {
+            if (force_acks && m.acksExpected > 0 &&
+                m.acksReceived < m.acksExpected) {
+                ctx_.stats().add("fault.acks_forced",
+                                 m.acksExpected - m.acksReceived);
+                m.acksReceived = m.acksExpected;
+                force_complete.push_back(line);
+            }
+            continue;
+        }
+        resendRequest(m);
+        ++sent;
+    }
+    for (Addr line : force_complete)
+        tryComplete(line);
+    for (auto &[line, wb] : wbPending_) {
+        resendWriteBack(line, wb);
+        ++sent;
+    }
+    return sent;
 }
 
 void

@@ -94,6 +94,29 @@ class ComputeBase
      */
     std::vector<std::tuple<Addr, CohState, Version>> drainForReconfig();
 
+    /** Every valid node-level copy (coherence scans; see check/). */
+    virtual void forEachValidLine(
+        const std::function<void(Addr, CohState, Version)> &fn)
+        const = 0;
+
+    /** No transaction, writeback, or blocked access in flight. */
+    bool
+    quiescent() const
+    {
+        return mshrs_.empty() && wbPending_.empty() &&
+               blocked_.empty() && wbBlocked_.empty();
+    }
+
+    /**
+     * Force-retry every outstanding transaction and writeback now,
+     * ignoring timeouts (the model-check explorer calls this at its
+     * drain horizon instead of simulating timeout waits). With
+     * @p force_acks, missing invalidation acks are forgiven exactly as
+     * in the sweep's graceful-degradation path.
+     * @return number of retransmissions issued.
+     */
+    int retryStalledTransactions(bool force_acks);
+
   protected:
     struct PendingAccess
     {
@@ -260,6 +283,20 @@ class ComputeBase
 
     /** Resend a timed-out WriteBack. */
     void resendWriteBack(Addr line, WbPending &wb);
+
+    // ------------------------------------------------------------------
+    // Coherence-oracle hooks (no-ops unless check.enabled).
+    // ------------------------------------------------------------------
+
+    /**
+     * Report this node's (post-mutation) state of @p line to the
+     * oracle. Reads the state back out of node storage so the shadow
+     * model agrees with the real arrays by construction.
+     */
+    void noteState(Addr line, const char *why);
+
+    /** Report that all local state was wiped (flush / reconfig). */
+    void noteWipe(const char *why);
 
     ProtoContext &ctx_;
     NodeId self_;

@@ -17,6 +17,8 @@
 namespace pimdsm
 {
 
+class CoherenceOracle;
+
 class ProtoContext
 {
   public:
@@ -51,6 +53,12 @@ class ProtoContext
     /** Bit mask of nodes currently acting as compute nodes (for
      *  limited-pointer broadcast invalidation). */
     virtual std::uint64_t computeNodeMask() const = 0;
+
+    /**
+     * The coherence oracle's event sink, or nullptr when checking is
+     * off (the default, so hooks cost one branch). See check/oracle.hh.
+     */
+    virtual CoherenceOracle *checker() { return nullptr; }
 };
 
 } // namespace pimdsm

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/oracle.hh"
 #include "sim/log.hh"
 
 namespace pimdsm
@@ -37,6 +38,13 @@ HomeBase::sendAt(Tick when, Message msg)
     egressClock_ = when;
     msg.src = self_;
     ctx_.eq().schedule(when, [this, msg] { ctx_.send(msg); });
+}
+
+void
+HomeBase::noteDir(Addr line, const DirEntry &e)
+{
+    if (CoherenceOracle *o = ctx_.checker())
+        o->noteDirEntry(ctx_.eq().curTick(), self_, line, e);
 }
 
 DirEntry &
@@ -174,6 +182,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
             }
             updateLinkage(line, e);
             e.busy = false;
+            noteDir(line, e);
             sendReplyTracked(when, r, req);
             return;
         }
@@ -206,6 +215,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
             e.owner = kInvalidNode;
         }
         updateLinkage(line, e);
+        noteDir(line, e);
         return;
     }
 
@@ -237,6 +247,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         // mesh delivers our later messages to the requester after
         // this reply).
         e.busy = false;
+        noteDir(line, e);
         sendReplyTracked(when, r, req);
         return;
     }
@@ -261,6 +272,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         e.state = DirEntry::State::Shared;
         e.addSharerLimited(req.src, ctx_.config().directoryPointers);
         updateLinkage(line, e);
+        noteDir(line, e);
         return;
     }
 
@@ -291,6 +303,7 @@ HomeBase::serveColdRead(Addr line, DirEntry &e, const Message &req,
     e.addSharerLimited(req.src, ctx_.config().directoryPointers);
     updateLinkage(line, e);
     e.busy = false; // no third party involved
+    noteDir(line, e);
     sendReplyTracked(when, r, req);
 }
 
@@ -302,6 +315,19 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
 
     const NodeId requester = req.src;
     const Tick now = ctx_.eq().curTick();
+
+    if (ctx_.config().check.mutation == ProtoMutation::DoubleOwner &&
+        e.state == DirEntry::State::Dirty && e.owner != requester) {
+        // Deliberate protocol mutation (oracle self-test): forget the
+        // dirty owner and serve the write as if the line were uncached,
+        // leaving two nodes believing they own it. The oracle's SWMR
+        // check fires when the second owner installs.
+        ctx_.stats().add("check.mutation.double_owner");
+        e.state = DirEntry::State::Uncached;
+        e.owner = kInvalidNode;
+        e.sharers = 0;
+        e.masterOut = false;
+    }
 
     if (e.state == DirEntry::State::Dirty && e.owner == requester) {
         // Retry of a write we already granted (the reply or our
@@ -351,6 +377,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         e.sharers = 0;
         e.version = vnew; // home tracks the latest committed generation
         updateLinkage(line, e);
+        noteDir(line, e);
         return;
     }
 
@@ -387,6 +414,19 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         i.requester = requester;
         i.lineAddr = line;
         sendAt(when, i);
+        if (faultsOn_) {
+            // Scrub any cached granting reply held for the node being
+            // invalidated: if its original reply was lost, replaying it
+            // after this invalidation would resurrect a stale copy the
+            // directory no longer tracks. The scrub forces such a retry
+            // back through the directory (see dedupRequest).
+            auto sit = served_.find({line, t});
+            if (sit != served_.end() && sit->second.hasReply) {
+                sit->second.hasReply = false;
+                sit->second.reply = Message{};
+                ctx_.stats().add("home.stale_reply_scrubbed");
+            }
+        }
     }
 
     const bool dataless_ok = req.type == MsgType::UpgradeReq &&
@@ -450,6 +490,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
     e.homeHasData = false;
     e.pagedOut = false;
     updateLinkage(line, e);
+    noteDir(line, e);
 }
 
 void
@@ -497,6 +538,7 @@ HomeBase::handleWriteBack(const Message &msg)
         e.dropSharer(msg.src);
     }
     updateLinkage(msg.lineAddr, e);
+    noteDir(msg.lineAddr, e);
 
     Message ack;
     ack.type = MsgType::WriteBackAck;
@@ -558,6 +600,7 @@ HomeBase::handleOwnerToHome(const Message &msg)
         canAbsorbCheaply()) {
         absorbData(msg.lineAddr, e, msg.version);
         updateLinkage(msg.lineAddr, e);
+        noteDir(msg.lineAddr, e);
     } else {
         ctx_.stats().add("home.sharing_wb_dropped");
     }
@@ -598,6 +641,7 @@ HomeBase::adoptEntry(Addr line, const DirEntry &e)
         mine.pagedOut = e.pagedOut;
     }
     updateLinkage(line, mine);
+    noteDir(line, mine);
 }
 
 void
@@ -631,6 +675,7 @@ HomeBase::functionalWriteBack(Addr line, NodeId from, Version v)
             e.state = DirEntry::State::Uncached;
     }
     updateLinkage(line, e);
+    noteDir(line, e);
 }
 
 bool
@@ -647,8 +692,16 @@ HomeBase::dedupRequest(const Message &msg)
         return false;
     }
     if (msg.txnSeq == it->second.seq && it->second.hasReply) {
-        // Fully served but the reply was lost: replay it verbatim at
-        // the cheap ack-handler cost (no directory transition).
+        // Fully served but the reply was lost. Replaying is sound:
+        // any transaction that has since taken the line away from this
+        // requester either routed a Fwd through it (which the requester
+        // defers until the replayed install, then yields to) or sent it
+        // an Inval, in which case serveWrite scrubbed this cached reply
+        // and we would not be here. Refusing instead can deadlock: the
+        // fresh retry queues behind a line whose busy transaction is
+        // itself waiting on the deferred Fwd this replay unblocks.
+        // Replay it verbatim at the cheap ack-handler cost (no
+        // directory transition).
         const Tick now = ctx_.eq().curTick();
         const Tick start =
             engine_.acquire(now, scaled(costs().ackOccupancy));

@@ -199,6 +199,10 @@ class HomeBase
     /** Unblock @p line and serve the next queued request, if any. */
     void finishTxn(Addr line);
 
+    /** Report @p line's directory entry to the coherence oracle after
+     *  a state transition (no-op unless check.enabled). */
+    void noteDir(Addr line, const DirEntry &e);
+
     // ------------------------------------------------------------------
     // Fault tolerance (inert unless cfg().faults.enabled()).
     // ------------------------------------------------------------------

@@ -79,12 +79,24 @@ NumaCompute::onL2Evict(Addr line, bool dirty, CohState st, Version v)
     }
     // Clean shared victims are dropped silently (the home keeps a
     // stale sharer bit).
+    noteState(line, st == CohState::Dirty ? "l2-evict-wb"
+                                          : "l2-evict-drop");
 }
 
 Tick
 NumaCompute::fwdDataLatency() const
 {
     return l2_.latency();
+}
+
+void
+NumaCompute::forEachValidLine(
+    const std::function<void(Addr, CohState, Version)> &fn) const
+{
+    l2_.array().forEach([&](const CacheLine &l) {
+        if (l.valid())
+            fn(l.lineAddr, l.state, l.version);
+    });
 }
 
 void

@@ -21,6 +21,10 @@ class NumaCompute : public ComputeBase
   public:
     NumaCompute(ProtoContext &ctx, NodeId self);
 
+    void forEachValidLine(
+        const std::function<void(Addr, CohState, Version)> &fn)
+        const override;
+
   protected:
     CohState nodeState(Addr line) const override;
     Version nodeVersion(Addr line) const override;

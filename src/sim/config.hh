@@ -154,6 +154,35 @@ struct ReconfigCosts
     Tick tlbUpdateCost = 1000;     ///< per P-node TLB shootdown
 };
 
+/**
+ * Deliberate protocol mutations for oracle self-tests. Each one breaks
+ * a coherence invariant in a targeted way; the mutation tests assert
+ * that the CoherenceOracle catches every one of them. Never enable
+ * outside tests.
+ */
+enum class ProtoMutation : std::uint8_t
+{
+    None,        ///< correct protocol
+    SkipInval,   ///< acknowledge an invalidation without invalidating
+    DoubleOwner, ///< home forgets the dirty owner and grants a second
+    LeakSlot,    ///< D-node release forgets to return a Data slot
+};
+
+/** Coherence-checking knobs (src/check/; see DESIGN.md invariants). */
+struct CheckConfig
+{
+    /**
+     * Maintain the machine-wide shadow model and check coherence
+     * invariants on every protocol event. Off by default so benches
+     * pay nothing; tests and the model checker turn it on.
+     */
+    bool enabled = false;
+    /** Per-line history/commit ring depth kept for violation traces. */
+    int historyDepth = 48;
+    /** Test-only protocol mutation (oracle self-test; keep None). */
+    ProtoMutation mutation = ProtoMutation::None;
+};
+
 /** Complete description of one simulated machine. */
 struct MachineConfig
 {
@@ -210,6 +239,9 @@ struct MachineConfig
 
     /** Fault-injection plan (inert by default; see sim/fault.hh). */
     FaultConfig faults;
+
+    /** Coherence-oracle knobs (inert by default; see src/check/). */
+    CheckConfig check;
 
     /** Nodes in the machine (P + D). */
     int totalNodes() const { return numPNodes + numDNodes; }

@@ -62,7 +62,7 @@ FaultConfig::enabled() const
             r.dropNth > 0)
             return true;
     }
-    return !deaths.empty();
+    return armRecovery || !deaths.empty();
 }
 
 void

@@ -86,6 +86,15 @@ struct FaultConfig
     /** Scheduled D-node deaths (fired by the experiment runner). */
     std::vector<DNodeDeath> deaths;
 
+    /**
+     * Arm the recovery machinery (txn sequence numbers, home-side
+     * dedup, timeout sweeps) without configuring any mesh-level fault.
+     * The model-check explorer uses this: it injects its own drops and
+     * duplicates at the Machine::send interception point, bypassing the
+     * FaultPlan, but still needs the tolerant protocol paths live.
+     */
+    bool armRecovery = false;
+
     /** True if any fault mechanism is configured; the retry/dedup
      *  machinery is armed only when this holds, so fault-free runs
      *  are bit-identical to the pre-fault simulator. */

@@ -32,6 +32,9 @@ stressCfg(ArchKind arch, int p, int d, std::uint64_t p_mem)
     cfg.dNodeMemBytes = p_mem;
     cfg.l1 = CacheParams{512, 1, 64, 3};
     cfg.l2 = CacheParams{2048, 1, 64, 6};
+    // Fault-free runs get the strict coherence oracle: any SWMR or
+    // version violation panics mid-run with the line's history.
+    cfg.check.enabled = true;
     fitMesh(cfg.net, cfg.totalNodes());
     cfg.validate();
     return cfg;
@@ -118,6 +121,7 @@ TEST_P(ProtocolStress, RandomTrafficPreservesCoherence)
     }
     m.eq().run();
     m.checkInvariants();
+    m.checkCoherenceQuiescent();
 
     // Every node must be drained of transient state.
     for (NodeId n = 0; n < nodes; ++n)
@@ -160,6 +164,7 @@ TEST(ProtocolStressSoak, AggTinyDnodeStorePagesOut)
     }
     m.eq().run();
     m.checkInvariants();
+    m.checkCoherenceQuiescent();
 
     auto *home = static_cast<AggDNodeHome *>(m.home(4));
     home->store().checkIntegrity();

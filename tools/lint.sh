@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Repo-local lint: bans patterns that break simulator reproducibility
+# or let the protocol drift out of sync with its own metadata. Run
+# from anywhere; exits non-zero with a file:line listing per offense.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+complain() {
+    echo "lint: $1" >&2
+    shift
+    printf '  %s\n' "$@" >&2
+    fail=1
+}
+
+src_files() {
+    find src tests bench examples -name '*.cc' -o -name '*.hh' | sort
+}
+
+# --- 1. Unseeded randomness outside sim/random.* ----------------------
+# Every stochastic decision must flow through the seeded Rng so runs
+# (and fault campaigns) replay deterministically.
+hits=$(src_files | grep -v 'src/sim/random' |
+       xargs grep -nE '\b(rand|srand|random)\(\)|std::random_device|time\(NULL\)|time\(0\)' 2>/dev/null)
+if [ -n "$hits" ]; then
+    complain "unseeded randomness (use sim/random.hh Rng):" "$hits"
+fi
+
+# --- 2. Wall-clock time in simulation code ----------------------------
+# Simulated time is EventQueue ticks; wall-clock reads make runs
+# nondeterministic. (bench/ may time itself; the harness does it.)
+hits=$(find src -name '*.cc' -o -name '*.hh' | sort |
+       xargs grep -nE 'std::chrono::(system|steady|high_resolution)_clock::now' 2>/dev/null)
+if [ -n "$hits" ]; then
+    complain "wall-clock reads in src/ (use EventQueue ticks):" "$hits"
+fi
+
+# --- 3. msgTypeName exhaustiveness ------------------------------------
+# Every MsgType enumerator must have a case in msgTypeName(); a missing
+# one silently prints "?" in traces and violation reports.
+enums=$(sed -n '/^enum class MsgType/,/^};/p' src/proto/message.hh |
+        grep -oE '^    [A-Z][A-Za-z]+' | tr -d ' ')
+missing=""
+for e in $enums; do
+    grep -qE "case MsgType::$e:" src/proto/message.cc ||
+        missing="$missing $e"
+done
+if [ -n "$missing" ]; then
+    complain "MsgType enumerators missing from msgTypeName():" "$missing"
+fi
+
+# --- 4. Naked new/delete ----------------------------------------------
+hits=$(src_files |
+       xargs grep -nE '=\s*new\s|[^_a-zA-Z]delete\s+[a-z]' 2>/dev/null |
+       grep -v 'unique_ptr\|make_unique\|= delete')
+if [ -n "$hits" ]; then
+    complain "naked new/delete (use std::unique_ptr):" "$hits"
+fi
+
+# --- 5. printf-family in the library ----------------------------------
+# src/ reports through Trace/warn/panic/StatSet; stray stdout writes
+# corrupt machine-readable experiment output.
+hits=$(find src -name '*.cc' -o -name '*.hh' | sort |
+       grep -v 'src/sim/log' |
+       xargs grep -nE '\b(printf|fprintf|puts)\(' 2>/dev/null)
+if [ -n "$hits" ]; then
+    complain "printf-family in src/ (use Trace/warn/panic):" "$hits"
+fi
+
+if [ "$fail" -ne 0 ]; then
+    echo "lint: FAILED" >&2
+    exit 1
+fi
+echo "lint: OK"
