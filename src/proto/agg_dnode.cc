@@ -210,7 +210,7 @@ AggDNodeHome::metadataBytesPerLine(double directory_factor)
 
 AggDNodeHome::AggDNodeHome(ProtoContext &ctx, NodeId self,
                            std::uint64_t mem_bytes)
-    : HomeBase(ctx, self),
+    : HomeBase(ctx, self, spec::Role::AggHome),
       store_([&] {
           const auto &cfg = ctx.config();
           const std::uint64_t per_line =

@@ -7,7 +7,9 @@ namespace pimdsm
 
 CachedMemCompute::CachedMemCompute(ProtoContext &ctx, NodeId self,
                                    std::uint64_t mem_bytes, bool coma_mode)
-    : ComputeBase(ctx, self),
+    : ComputeBase(ctx, self,
+                  coma_mode ? spec::Role::ComaCompute
+                            : spec::Role::AggCompute),
       mem_(mem_bytes, ctx.config().mem),
       comaMode_(coma_mode)
 {

@@ -6,7 +6,7 @@ namespace pimdsm
 {
 
 ComaHome::ComaHome(ProtoContext &ctx, NodeId self, int num_nodes)
-    : HomeBase(ctx, self), numNodes_(num_nodes),
+    : HomeBase(ctx, self, spec::Role::ComaHome), numNodes_(num_nodes),
       maxProviderTries_(num_nodes < 6 ? num_nodes : 6),
       rng_(ctx.config().seed * 7919 + self)
 {

@@ -9,8 +9,9 @@
 namespace pimdsm
 {
 
-ComputeBase::ComputeBase(ProtoContext &ctx, NodeId self)
-    : ctx_(ctx), self_(self),
+ComputeBase::ComputeBase(ProtoContext &ctx, NodeId self, spec::Role role)
+    : ctx_(ctx), self_(self), role_(role),
+      dispatch_(&dispatchFor(role)),
       l1_("l1", ctx.config().l1),
       l2_("l2",
           [&] {
@@ -21,8 +22,74 @@ ComputeBase::ComputeBase(ProtoContext &ctx, NodeId self)
               return p;
           }()),
       maxMshrs_(ctx.config().proc.maxOutstandingLoads),
+      msgEngineLatency_(ctx.config().handlers.msgEngineLatency),
       faultsOn_(ctx.config().faults.enabled())
 {
+}
+
+const ComputeBase::DispatchTable &
+ComputeBase::dispatchFor(spec::Role role)
+{
+    // One handler binding per MsgType a compute controller can
+    // process; the per-role tables below expose exactly the subset the
+    // spec accepts for that role, and building them panics if the spec
+    // accepts a type with no bound handler (spec and code cannot
+    // diverge silently).
+    struct Binding
+    {
+        MsgType type;
+        MsgHandler fn;
+    };
+    static const Binding bindings[] = {
+        {MsgType::ReadReply, &ComputeBase::handleReply},
+        {MsgType::ReadExReply, &ComputeBase::handleReply},
+        {MsgType::UpgradeReply, &ComputeBase::handleReply},
+        {MsgType::FwdReply, &ComputeBase::handleReply},
+        {MsgType::InvalAck, &ComputeBase::handleInvalAck},
+        {MsgType::Inval, &ComputeBase::handleInval},
+        {MsgType::Fwd, &ComputeBase::handleFwd},
+        {MsgType::WriteBackAck, &ComputeBase::handleWriteBackAck},
+        {MsgType::Inject, &ComputeBase::handleInject},
+        {MsgType::MasterGrant, &ComputeBase::handleMasterGrant},
+        {MsgType::CimReply, &ComputeBase::handleCimReply},
+    };
+
+    auto build = [](spec::Role r) {
+        DispatchTable table{};
+        const spec::ProtocolSpec &p = spec::ProtocolSpec::instance();
+        for (int i = 0; i < kNumMsgTypes; ++i) {
+            const auto mt = static_cast<MsgType>(i);
+            if (!p.roleAccepts(r, mt))
+                continue;
+            MsgHandler fn = nullptr;
+            for (const Binding &b : bindings) {
+                if (b.type == mt) {
+                    fn = b.fn;
+                    break;
+                }
+            }
+            if (!fn)
+                panic(std::string("protocol spec accepts ") +
+                      msgTypeName(mt) + " at " + spec::roleName(r) +
+                      " but no compute handler is bound to it");
+            table[i] = fn;
+        }
+        return table;
+    };
+
+    static const DispatchTable agg = build(spec::Role::AggCompute);
+    static const DispatchTable coma = build(spec::Role::ComaCompute);
+    static const DispatchTable numa = build(spec::Role::NumaCompute);
+    switch (role) {
+      case spec::Role::AggCompute:
+        return agg;
+      case spec::Role::ComaCompute:
+        return coma;
+      case spec::Role::NumaCompute:
+        return numa;
+      default:
+        panic("dispatchFor: not a compute role");
+    }
 }
 
 void
@@ -207,37 +274,13 @@ ComputeBase::startMiss(const PendingAccess &acc, Addr line, CohState st)
 void
 ComputeBase::handleMessage(const Message &msg)
 {
-    switch (msg.type) {
-      case MsgType::ReadReply:
-      case MsgType::ReadExReply:
-      case MsgType::UpgradeReply:
-      case MsgType::FwdReply:
-        handleReply(msg);
-        return;
-      case MsgType::InvalAck:
-        handleInvalAck(msg);
-        return;
-      case MsgType::Inval:
-        handleInval(msg);
-        return;
-      case MsgType::Fwd:
-        handleFwd(msg);
-        return;
-      case MsgType::WriteBackAck:
-        handleWriteBackAck(msg);
-        return;
-      case MsgType::Inject:
-        handleInject(msg);
-        return;
-      case MsgType::MasterGrant:
-        handleMasterGrant(msg);
-        return;
-      case MsgType::CimReply:
-        handleCimReply(msg);
-        return;
-      default:
-        panic("compute node received unexpected " + msg.toString());
-    }
+    const MsgHandler h = (*dispatch_)[static_cast<int>(msg.type)];
+    if (!h)
+        panic(std::string(spec::roleName(role_)) +
+              " cannot receive " + msg.toString() + ": " +
+              spec::ProtocolSpec::instance().impossibleReason(
+                  role_, msg.type));
+    (this->*h)(msg);
 }
 
 void

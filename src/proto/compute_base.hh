@@ -19,6 +19,7 @@
 #ifndef PIMDSM_PROTO_COMPUTE_BASE_HH
 #define PIMDSM_PROTO_COMPUTE_BASE_HH
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -28,6 +29,7 @@
 #include "mem/cache.hh"
 #include "proto/context.hh"
 #include "proto/message.hh"
+#include "proto/spec.hh"
 #include "sim/stats.hh"
 
 namespace pimdsm
@@ -39,10 +41,13 @@ class ComputeBase
     /** Completion: tick the access finished and where it was served. */
     using CompletionFn = std::function<void(Tick, ReadService)>;
 
-    ComputeBase(ProtoContext &ctx, NodeId self);
+    ComputeBase(ProtoContext &ctx, NodeId self, spec::Role role);
     virtual ~ComputeBase() = default;
 
     NodeId self() const { return self_; }
+
+    /** This controller's role in the declarative protocol spec. */
+    spec::Role role() const { return role_; }
 
     /**
      * Issue a load (@p is_write false) or a store-ownership request.
@@ -240,6 +245,19 @@ class ComputeBase
     Addr memLine(Addr addr) const;
     const MachineConfig &cfg() const { return ctx_.config(); }
 
+    // ------------------------------------------------------------------
+    // Spec-driven dispatch: handleMessage routes through a per-role
+    // table derived from spec::ProtocolSpec, so a message the spec
+    // declares Impossible for this role panics with the spec's reason
+    // and a spec entry without a bound handler fails at construction.
+    // ------------------------------------------------------------------
+
+    using MsgHandler = void (ComputeBase::*)(const Message &);
+    using DispatchTable = std::array<MsgHandler, kNumMsgTypes>;
+
+    /** Dispatch table for @p role (built once, checked against spec). */
+    static const DispatchTable &dispatchFor(spec::Role role);
+
     /** Try to start @p acc; queues it if resources are busy. */
     void startAccess(const PendingAccess &acc);
 
@@ -300,6 +318,8 @@ class ComputeBase
 
     ProtoContext &ctx_;
     NodeId self_;
+    spec::Role role_;
+    const DispatchTable *dispatch_;
     Cache l1_;
     Cache l2_;
 

@@ -8,9 +8,72 @@
 namespace pimdsm
 {
 
-HomeBase::HomeBase(ProtoContext &ctx, NodeId self)
-    : ctx_(ctx), self_(self), faultsOn_(ctx.config().faults.enabled())
+HomeBase::HomeBase(ProtoContext &ctx, NodeId self, spec::Role role)
+    : ctx_(ctx), self_(self), role_(role),
+      dispatch_(&dispatchFor(role)),
+      faultsOn_(ctx.config().faults.enabled())
 {
+}
+
+const HomeBase::DispatchTable &
+HomeBase::dispatchFor(spec::Role role)
+{
+    // One handler binding per MsgType a home controller can process;
+    // building the per-role table panics if the spec accepts a type
+    // with no bound handler (spec and code cannot diverge silently).
+    struct Binding
+    {
+        MsgType type;
+        MsgHandler fn;
+    };
+    static const Binding bindings[] = {
+        {MsgType::ReadReq, &HomeBase::acceptRequest},
+        {MsgType::ReadExReq, &HomeBase::acceptRequest},
+        {MsgType::UpgradeReq, &HomeBase::acceptRequest},
+        {MsgType::WriteBack, &HomeBase::enqueueOrServe},
+        {MsgType::TxnDone, &HomeBase::handleTxnDone},
+        {MsgType::OwnerToHome, &HomeBase::handleOwnerToHome},
+        {MsgType::InjectAck, &HomeBase::handleInjectResponse},
+        {MsgType::InjectNack, &HomeBase::handleInjectResponse},
+        {MsgType::CimReq, &HomeBase::handleCimReq},
+    };
+
+    auto build = [](spec::Role r) {
+        DispatchTable table{};
+        const spec::ProtocolSpec &p = spec::ProtocolSpec::instance();
+        for (int i = 0; i < kNumMsgTypes; ++i) {
+            const auto mt = static_cast<MsgType>(i);
+            if (!p.roleAccepts(r, mt))
+                continue;
+            MsgHandler fn = nullptr;
+            for (const Binding &b : bindings) {
+                if (b.type == mt) {
+                    fn = b.fn;
+                    break;
+                }
+            }
+            if (!fn)
+                panic(std::string("protocol spec accepts ") +
+                      msgTypeName(mt) + " at " + spec::roleName(r) +
+                      " but no home handler is bound to it");
+            table[i] = fn;
+        }
+        return table;
+    };
+
+    static const DispatchTable agg = build(spec::Role::AggHome);
+    static const DispatchTable coma = build(spec::Role::ComaHome);
+    static const DispatchTable numa = build(spec::Role::NumaHome);
+    switch (role) {
+      case spec::Role::AggHome:
+        return agg;
+      case spec::Role::ComaHome:
+        return coma;
+      case spec::Role::NumaHome:
+        return numa;
+      default:
+        panic("dispatchFor: not a home role");
+    }
 }
 
 Tick
@@ -86,44 +149,37 @@ HomeBase::handleMessage(const Message &msg)
         // after it (fail-stop).
         if (dead_)
             return;
-        switch (copy.type) {
-          case MsgType::ReadReq:
-          case MsgType::ReadExReq:
-          case MsgType::UpgradeReq:
-            // Retried requests must be recognized *before* the busy
-            // check: a dup of the very transaction the line is blocked
-            // on would otherwise queue behind itself and deadlock.
-            if (faultsOn_ && copy.txnSeq != 0 && dedupRequest(copy))
-                return;
-            [[fallthrough]];
-          case MsgType::WriteBack:
-            {
-                DirEntry &e = entryFor(copy.lineAddr);
-                if (e.busy) {
-                    e.pending.push_back(copy);
-                    ctx_.stats().add("home.blocked_requests");
-                    return;
-                }
-                serveRequest(copy);
-                return;
-            }
-          case MsgType::TxnDone:
-            handleTxnDone(copy);
-            return;
-          case MsgType::OwnerToHome:
-            handleOwnerToHome(copy);
-            return;
-          case MsgType::InjectAck:
-          case MsgType::InjectNack:
-            handleInjectResponse(copy);
-            return;
-          case MsgType::CimReq:
-            handleCimReq(copy);
-            return;
-          default:
-            panic("home received unexpected message " + copy.toString());
-        }
+        const MsgHandler h = (*dispatch_)[static_cast<int>(copy.type)];
+        if (!h)
+            panic(std::string(spec::roleName(role_)) +
+                  " cannot receive " + copy.toString() + ": " +
+                  spec::ProtocolSpec::instance().impossibleReason(
+                      role_, copy.type));
+        (this->*h)(copy);
     });
+}
+
+void
+HomeBase::acceptRequest(const Message &msg)
+{
+    // Retried requests must be recognized *before* the busy check: a
+    // dup of the very transaction the line is blocked on would
+    // otherwise queue behind itself and deadlock.
+    if (faultsOn_ && msg.txnSeq != 0 && dedupRequest(msg))
+        return;
+    enqueueOrServe(msg);
+}
+
+void
+HomeBase::enqueueOrServe(const Message &msg)
+{
+    DirEntry &e = entryFor(msg.lineAddr);
+    if (e.busy) {
+        e.pending.push_back(msg);
+        ctx_.stats().add("home.blocked_requests");
+        return;
+    }
+    serveRequest(msg);
 }
 
 void

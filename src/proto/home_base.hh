@@ -19,6 +19,7 @@
 #ifndef PIMDSM_PROTO_HOME_BASE_HH
 #define PIMDSM_PROTO_HOME_BASE_HH
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <utility>
@@ -26,6 +27,7 @@
 #include "proto/context.hh"
 #include "proto/directory.hh"
 #include "proto/message.hh"
+#include "proto/spec.hh"
 #include "sim/event_queue.hh"
 
 namespace pimdsm
@@ -34,10 +36,13 @@ namespace pimdsm
 class HomeBase
 {
   public:
-    HomeBase(ProtoContext &ctx, NodeId self);
+    HomeBase(ProtoContext &ctx, NodeId self, spec::Role role);
     virtual ~HomeBase() = default;
 
     NodeId self() const { return self_; }
+
+    /** This controller's role in the declarative protocol spec. */
+    spec::Role role() const { return role_; }
 
     /** Entry point for every home-bound message delivered to this node. */
     void handleMessage(const Message &msg);
@@ -182,6 +187,25 @@ class HomeBase
     // Engine helpers (available to subclasses).
     // ------------------------------------------------------------------
 
+    // ------------------------------------------------------------------
+    // Spec-driven dispatch (mirrors ComputeBase::dispatchFor): the
+    // handler for each MsgType is looked up in a per-role table derived
+    // from spec::ProtocolSpec.
+    // ------------------------------------------------------------------
+
+    using MsgHandler = void (HomeBase::*)(const Message &);
+    using DispatchTable = std::array<MsgHandler, kNumMsgTypes>;
+
+    /** Dispatch table for @p role (built once, checked against spec). */
+    static const DispatchTable &dispatchFor(spec::Role role);
+
+    /** Request entry: dedup retried transactions, then queue or serve. */
+    void acceptRequest(const Message &msg);
+
+    /** Queue behind a busy line or serve immediately (writebacks skip
+     *  the dedup machinery but still respect the blocked home). */
+    void enqueueOrServe(const Message &msg);
+
     /** Emit @p msg at absolute tick @p when. */
     void sendAt(Tick when, Message msg);
 
@@ -222,6 +246,8 @@ class HomeBase
 
     ProtoContext &ctx_;
     NodeId self_;
+    spec::Role role_;
+    const DispatchTable *dispatch_;
     Resource engine_;
     DirectoryTable dir_;
     /** Monotonic egress time (see sendAt). */

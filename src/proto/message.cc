@@ -1,6 +1,9 @@
 #include "proto/message.hh"
 
+#include <array>
 #include <sstream>
+
+#include "proto/spec.hh"
 
 namespace pimdsm
 {
@@ -54,57 +57,34 @@ msgTypeName(MsgType t)
     }
 }
 
+// Both metadata queries sit on the per-message hot path (routing and
+// fault targeting), so the spec-derived answers are cached in flat
+// arrays on first use.
+
 bool
 msgBoundForHome(MsgType t)
 {
-    switch (t) {
-      case MsgType::ReadReq:
-      case MsgType::ReadExReq:
-      case MsgType::UpgradeReq:
-      case MsgType::WriteBack:
-      case MsgType::TxnDone:
-      case MsgType::OwnerToHome:
-      case MsgType::InjectAck:
-      case MsgType::InjectNack:
-      case MsgType::CimReq:
-        return true;
-      default:
-        return false;
-    }
+    static const std::array<bool, kNumMsgTypes> bound = [] {
+        std::array<bool, kNumMsgTypes> a{};
+        const spec::ProtocolSpec &p = spec::ProtocolSpec::instance();
+        for (int i = 0; i < kNumMsgTypes; ++i)
+            a[i] = p.boundForHome(static_cast<MsgType>(i));
+        return a;
+    }();
+    return bound[static_cast<int>(t)];
 }
 
 MsgClass
 msgClassOf(MsgType t)
 {
-    switch (t) {
-      case MsgType::ReadReq:
-      case MsgType::ReadExReq:
-      case MsgType::UpgradeReq:
-        return MsgClass::Request;
-      case MsgType::ReadReply:
-      case MsgType::ReadExReply:
-      case MsgType::UpgradeReply:
-        return MsgClass::Reply;
-      case MsgType::WriteBack:
-      case MsgType::WriteBackAck:
-      case MsgType::OwnerToHome:
-        return MsgClass::WriteBack;
-      case MsgType::TxnDone:
-      case MsgType::InvalAck:
-        return MsgClass::Ack;
-      case MsgType::Fwd:
-      case MsgType::FwdReply:
-      case MsgType::Inval:
-      case MsgType::Inject:
-      case MsgType::MasterGrant:
-      case MsgType::InjectAck:
-      case MsgType::InjectNack:
-        return MsgClass::Peer;
-      case MsgType::CimReq:
-      case MsgType::CimReply:
-        return MsgClass::Cim;
-    }
-    return MsgClass::Immune;
+    static const std::array<MsgClass, kNumMsgTypes> cls = [] {
+        std::array<MsgClass, kNumMsgTypes> a{};
+        const spec::ProtocolSpec &p = spec::ProtocolSpec::instance();
+        for (int i = 0; i < kNumMsgTypes; ++i)
+            a[i] = p.classOf(static_cast<MsgType>(i));
+        return a;
+    }();
+    return cls[static_cast<int>(t)];
 }
 
 int
@@ -132,7 +112,12 @@ Message::toString() const
     std::ostringstream os;
     os << msgTypeName(type) << " line=0x" << std::hex << lineAddr
        << std::dec << " " << src << "->" << dst << " req=" << requester
-       << " acks=" << ackCount << " legs=" << legs << " v=" << version;
+       << " acks=" << ackCount << " legs=" << legs << " v=" << version
+       << " seq=" << txnSeq;
+    if (needsTxnDone)
+        os << " +txndone";
+    if (grantsMaster)
+        os << " +master";
     return os.str();
 }
 

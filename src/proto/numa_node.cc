@@ -10,7 +10,7 @@ namespace pimdsm
 // ---------------------------------------------------------------------
 
 NumaCompute::NumaCompute(ProtoContext &ctx, NodeId self)
-    : ComputeBase(ctx, self)
+    : ComputeBase(ctx, self, spec::Role::NumaCompute)
 {
 }
 
@@ -114,7 +114,7 @@ NumaCompute::forEachOwnedLine(
 // ---------------------------------------------------------------------
 
 NumaHome::NumaHome(ProtoContext &ctx, NodeId self, std::uint64_t mem_bytes)
-    : HomeBase(ctx, self), mem_(mem_bytes, ctx.config().mem)
+    : HomeBase(ctx, self, spec::Role::NumaHome), mem_(mem_bytes, ctx.config().mem)
 {
 }
 

@@ -1,0 +1,598 @@
+#include "proto/spec_check.hh"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace pimdsm
+{
+namespace spec
+{
+
+const char *
+violationKindName(Violation::Kind k)
+{
+    switch (k) {
+      case Violation::Kind::UndeclaredMsg:
+        return "undeclared-msg";
+      case Violation::Kind::Duplicate:
+        return "duplicate";
+      case Violation::Kind::BadState:
+        return "bad-state";
+      case Violation::Kind::Coverage:
+        return "coverage";
+      case Violation::Kind::ClassCycle:
+        return "class-cycle";
+      case Violation::Kind::SinkViolation:
+        return "sink-violation";
+      case Violation::Kind::Cost:
+        return "cost";
+      case Violation::Kind::Reachability:
+        return "reachability";
+      case Violation::Kind::Routing:
+        return "routing";
+    }
+    return "?";
+}
+
+std::string
+Violation::toString() const
+{
+    std::string s = std::string("[") + violationKindName(kind) + "] " +
+                    where;
+    if (!detail.empty())
+        s += ": " + detail;
+    return s;
+}
+
+bool
+CheckReport::has(Violation::Kind k) const
+{
+    for (const Violation &v : violations) {
+        if (v.kind == k)
+            return true;
+    }
+    return false;
+}
+
+std::string
+CheckReport::toString() const
+{
+    std::string s;
+    for (const Violation &v : violations)
+        s += v.toString() + "\n";
+    return s;
+}
+
+namespace
+{
+
+std::string
+pairName(Role r, LineState s, MsgType t)
+{
+    return std::string(roleName(r)) + " " + lineStateName(s) + " x " +
+           msgTypeName(t);
+}
+
+bool
+stateBelongs(Role r, LineState s)
+{
+    const auto &states = ProtocolSpec::statesOf(r);
+    return std::find(states.begin(), states.end(), s) != states.end();
+}
+
+void
+add(CheckReport &rep, Violation::Kind k, std::string where,
+    std::string detail)
+{
+    Violation v;
+    v.kind = k;
+    v.where = std::move(where);
+    v.detail = std::move(detail);
+    rep.violations.push_back(std::move(v));
+}
+
+bool
+roleListed(const std::vector<Role> &roles, Role r)
+{
+    return std::find(roles.begin(), roles.end(), r) != roles.end();
+}
+
+// ---------------------------------------------------------------------
+// Check 0: declarations.
+// ---------------------------------------------------------------------
+
+void
+checkDecls(const ProtocolSpec &spec, CheckReport &rep)
+{
+    for (int i = 0; i < kNumMsgTypes; ++i) {
+        const auto t = static_cast<MsgType>(i);
+        if (!spec.decl(t).declared)
+            add(rep, Violation::Kind::UndeclaredMsg, msgTypeName(t),
+                "no declareMsg() entry (class/network unknown)");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Check 1: structure — duplicates, bad states, full coverage.
+// ---------------------------------------------------------------------
+
+void
+checkCoverage(const ProtocolSpec &spec, const std::vector<Role> &roles,
+              CheckReport &rep)
+{
+    std::set<std::tuple<int, int, int>> seen;
+    for (const Transition &t : spec.transitions()) {
+        if (!roleListed(roles, t.role))
+            continue;
+        if (!stateBelongs(t.role, t.state)) {
+            add(rep, Violation::Kind::BadState,
+                pairName(t.role, t.state, t.msg),
+                std::string("state ") + lineStateName(t.state) +
+                    " is not a state of " + roleName(t.role));
+            continue;
+        }
+        const auto key =
+            std::make_tuple(static_cast<int>(t.role),
+                            static_cast<int>(t.state),
+                            static_cast<int>(t.msg));
+        if (!seen.insert(key).second)
+            add(rep, Violation::Kind::Duplicate,
+                pairName(t.role, t.state, t.msg),
+                "second row registered for this pair");
+        for (LineState n : t.next) {
+            if (!stateBelongs(t.role, n))
+                add(rep, Violation::Kind::BadState,
+                    pairName(t.role, t.state, t.msg),
+                    std::string("next state ") + lineStateName(n) +
+                        " is not a state of " + roleName(t.role));
+        }
+    }
+
+    for (Role r : roles) {
+        for (LineState s : ProtocolSpec::statesOf(r)) {
+            for (int i = 0; i < kNumMsgTypes; ++i) {
+                const auto t = static_cast<MsgType>(i);
+                if (!spec.find(r, s, t))
+                    add(rep, Violation::Kind::Coverage,
+                        pairName(r, s, t),
+                        "no transition registered for this "
+                        "(state x message) pair");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Check 2: virtual-network deadlock-freedom.
+//
+// Build the dependency graph "a handler consuming a message on
+// network A may send a message on network B" over the roles under
+// test, then require it acyclic (DASH's channel-dependency argument:
+// with per-network buffering, an acyclic send-while-holding relation
+// means no protocol-induced network deadlock). Exempt sends are
+// excluded from the graph but their justifications are verified:
+//  - sink targets must be consumed with no sends in every role,
+//  - evict sends are replacement-triggered (their own drain buffer),
+//  - boundedRetry sends terminate by construction (COMA's
+//    maxProviderTries cap); they must stay within one handler family.
+// ---------------------------------------------------------------------
+
+void
+checkVnDiscipline(const ProtocolSpec &spec,
+                  const std::vector<Role> &roles, CheckReport &rep)
+{
+    // edges[a][b]: one witness transition label for the edge a -> b.
+    std::string edges[kNumVns][kNumVns];
+    bool have[kNumVns][kNumVns] = {};
+
+    for (const Transition &t : spec.transitions()) {
+        if (!roleListed(roles, t.role) ||
+            t.outcome != Outcome::Handled)
+            continue;
+        if (!spec.decl(t.msg).declared)
+            continue; // reported by checkDecls
+        const int vin = static_cast<int>(spec.decl(t.msg).vn);
+        for (const SendSpec &s : t.sends) {
+            if (!spec.decl(s.type).declared)
+                continue;
+            if (s.evict || s.boundedRetry || spec.decl(s.type).sink)
+                continue;
+            const int vout = static_cast<int>(spec.decl(s.type).vn);
+            if (!have[vin][vout]) {
+                have[vin][vout] = true;
+                edges[vin][vout] = pairName(t.role, t.state, t.msg) +
+                                   " sends " + msgTypeName(s.type);
+            }
+        }
+    }
+
+    // Cycle detection over the (tiny) network graph: DFS with colors.
+    int color[kNumVns] = {}; // 0 white, 1 grey, 2 black
+    std::vector<int> stack;
+    std::string cycle;
+
+    std::function<bool(int)> dfs = [&](int v) {
+        color[v] = 1;
+        stack.push_back(v);
+        for (int w = 0; w < kNumVns; ++w) {
+            if (!have[v][w])
+                continue;
+            if (color[w] == 1) {
+                // Found a cycle: report it with edge witnesses.
+                std::ostringstream os;
+                auto it = std::find(stack.begin(), stack.end(), w);
+                std::vector<int> loop(it, stack.end());
+                loop.push_back(w);
+                for (std::size_t i = 0; i + 1 < loop.size(); ++i) {
+                    os << vnName(static_cast<Vn>(loop[i])) << " -> ";
+                }
+                os << vnName(static_cast<Vn>(w));
+                os << " (closing edge: " << edges[v][w] << ")";
+                cycle = os.str();
+                return true;
+            }
+            if (color[w] == 0 && dfs(w))
+                return true;
+        }
+        stack.pop_back();
+        color[v] = 2;
+        return false;
+    };
+
+    for (int v = 0; v < kNumVns; ++v) {
+        if (color[v] == 0 && dfs(v)) {
+            add(rep, Violation::Kind::ClassCycle,
+                "virtual-network dependency graph",
+                "cycle " + cycle +
+                    "; a handler may send on a network that "
+                    "(transitively) feeds back into its own, so "
+                    "protocol traffic can deadlock the mesh");
+            break;
+        }
+    }
+
+    // Verify the sink exemption: a sink message must be consumed with
+    // no sends wherever it is handled.
+    for (const Transition &t : spec.transitions()) {
+        if (!roleListed(roles, t.role) ||
+            t.outcome != Outcome::Handled)
+            continue;
+        if (!spec.decl(t.msg).declared || !spec.decl(t.msg).sink)
+            continue;
+        if (!t.sends.empty())
+            add(rep, Violation::Kind::SinkViolation,
+                pairName(t.role, t.state, t.msg),
+                std::string(msgTypeName(t.msg)) +
+                    " is declared a sink but this handler sends " +
+                    msgTypeName(t.sends.front().type));
+    }
+
+    // Verify the evict exemption is only claimed for writebacks (the
+    // only replacement-triggered message in the protocol).
+    for (const Transition &t : spec.transitions()) {
+        if (!roleListed(roles, t.role))
+            continue;
+        for (const SendSpec &s : t.sends) {
+            if (s.evict && s.type != MsgType::WriteBack)
+                add(rep, Violation::Kind::SinkViolation,
+                    pairName(t.role, t.state, t.msg),
+                    std::string("evict exemption claimed for ") +
+                        msgTypeName(s.type) +
+                        ", which is not a replacement writeback");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Check 3: cost-model resolution.
+// ---------------------------------------------------------------------
+
+void
+checkCosts(const ProtocolSpec &spec, const std::vector<Role> &roles,
+           const MachineConfig &cfg, CheckReport &rep)
+{
+    for (const Transition &t : spec.transitions()) {
+        if (!roleListed(roles, t.role))
+            continue;
+        if (t.outcome != Outcome::Handled) {
+            if (t.cost != CostKey::None)
+                add(rep, Violation::Kind::Cost,
+                    pairName(t.role, t.state, t.msg),
+                    std::string(outcomeName(t.outcome)) +
+                        " row carries cost key " +
+                        costKeyName(t.cost));
+            continue;
+        }
+        if (t.cost == CostKey::None) {
+            add(rep, Violation::Kind::Cost,
+                pairName(t.role, t.state, t.msg),
+                "Handled transition without a cost key");
+            continue;
+        }
+        Tick lat = 0;
+        Tick occ = 0;
+        if (!resolveCostKey(t.cost, cfg, lat, occ)) {
+            add(rep, Violation::Kind::Cost,
+                pairName(t.role, t.state, t.msg),
+                "unknown cost key " +
+                    std::to_string(static_cast<int>(t.cost)) +
+                    " does not resolve against the configured "
+                    "Table-2 cost model");
+            continue;
+        }
+        if (lat <= 0 || occ <= 0)
+            add(rep, Violation::Kind::Cost,
+                pairName(t.role, t.state, t.msg),
+                std::string("cost key ") + costKeyName(t.cost) +
+                    " resolves to a non-positive latency/occupancy");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Check 4: reachability from the initial state.
+// ---------------------------------------------------------------------
+
+void
+checkReachability(const ProtocolSpec &spec,
+                  const std::vector<Role> &roles, CheckReport &rep)
+{
+    for (Role r : roles) {
+        std::set<LineState> reached;
+        std::vector<LineState> frontier = {
+            ProtocolSpec::initialStateOf(r)};
+        reached.insert(frontier.front());
+        while (!frontier.empty()) {
+            const LineState s = frontier.back();
+            frontier.pop_back();
+            for (const Transition &t : spec.transitions()) {
+                if (t.role != r || t.state != s ||
+                    t.outcome != Outcome::Handled)
+                    continue;
+                for (LineState n : t.next) {
+                    if (reached.insert(n).second)
+                        frontier.push_back(n);
+                }
+            }
+        }
+        for (LineState s : ProtocolSpec::statesOf(r)) {
+            if (!reached.count(s))
+                add(rep, Violation::Kind::Reachability,
+                    std::string(roleName(r)) + " " + lineStateName(s),
+                    std::string("unreachable from ") +
+                        lineStateName(ProtocolSpec::initialStateOf(r)));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Check 5: routing unambiguity (always over all six roles).
+// ---------------------------------------------------------------------
+
+void
+checkRouting(const ProtocolSpec &spec, CheckReport &rep)
+{
+    static const Role all[] = {Role::AggCompute, Role::ComaCompute,
+                               Role::NumaCompute, Role::AggHome,
+                               Role::ComaHome, Role::NumaHome};
+    for (int i = 0; i < kNumMsgTypes; ++i) {
+        const auto t = static_cast<MsgType>(i);
+        bool home = false;
+        bool compute = false;
+        for (Role r : all) {
+            if (spec.roleAccepts(r, t))
+                (roleIsCompute(r) ? compute : home) = true;
+        }
+        if (home && compute)
+            add(rep, Violation::Kind::Routing, msgTypeName(t),
+                "accepted by both home and compute roles; "
+                "msgBoundForHome cannot be derived unambiguously");
+        if (!home && !compute)
+            add(rep, Violation::Kind::Routing, msgTypeName(t),
+                "accepted by no role at all");
+    }
+}
+
+} // namespace
+
+CheckReport
+checkSpec(const ProtocolSpec &spec, const std::vector<Role> &roles,
+          const MachineConfig &cfg)
+{
+    CheckReport rep;
+    checkDecls(spec, rep);
+    checkCoverage(spec, roles, rep);
+    checkVnDiscipline(spec, roles, rep);
+    checkCosts(spec, roles, cfg, rep);
+    checkReachability(spec, roles, rep);
+    checkRouting(spec, rep);
+    return rep;
+}
+
+// ---------------------------------------------------------------------
+// Rendering.
+// ---------------------------------------------------------------------
+
+std::string
+renderDot(const ProtocolSpec &spec, const std::vector<Role> &roles)
+{
+    std::ostringstream os;
+    os << "// Generated by pimdsm-protocheck from src/proto/spec.cc."
+       << "\n// Do not edit by hand.\n";
+    os << "digraph protocol {\n"
+       << "  rankdir=LR;\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (Role r : roles) {
+        os << "  subgraph cluster_" << roleName(r) << " {\n"
+           << "    label=\"" << roleName(r) << "\";\n";
+        for (LineState s : ProtocolSpec::statesOf(r)) {
+            os << "    " << roleName(r) << "_" << lineStateName(s);
+            if (s == ProtocolSpec::initialStateOf(r))
+                os << " [style=bold]";
+            os << ";\n";
+        }
+        for (const Transition &t : spec.transitions()) {
+            if (t.role != r || t.outcome != Outcome::Handled)
+                continue;
+            // Self-loops for rows that leave the state unchanged are
+            // drawn only when the handler sends something (pure
+            // no-op rows would clutter the graph).
+            std::vector<LineState> targets = t.next;
+            if (targets.empty() && !t.sends.empty())
+                targets.push_back(t.state);
+            std::set<int> drawn;
+            for (LineState n : targets) {
+                if (!drawn.insert(static_cast<int>(n)).second)
+                    continue;
+                os << "    " << roleName(r) << "_"
+                   << lineStateName(t.state) << " -> " << roleName(r)
+                   << "_" << lineStateName(n) << " [label=\""
+                   << msgTypeName(t.msg) << "\"];\n";
+            }
+        }
+        os << "  }\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+namespace
+{
+
+std::string
+sendsToString(const Transition &t)
+{
+    if (t.sends.empty())
+        return "—";
+    std::string s;
+    for (const SendSpec &snd : t.sends) {
+        if (!s.empty())
+            s += ", ";
+        s += msgTypeName(snd.type);
+        s += "→";
+        s += roleName(snd.to);
+        if (snd.evict)
+            s += " (evict)";
+        if (snd.boundedRetry)
+            s += " (bounded)";
+    }
+    return s;
+}
+
+std::string
+nextToString(const Transition &t)
+{
+    if (t.next.empty())
+        return "unchanged";
+    std::string s;
+    for (LineState n : t.next) {
+        if (!s.empty())
+            s += " / ";
+        s += lineStateName(n);
+    }
+    return s;
+}
+
+} // namespace
+
+std::string
+renderMarkdown(const ProtocolSpec &spec, const MachineConfig &cfg)
+{
+    static const Role all[] = {Role::AggCompute, Role::ComaCompute,
+                               Role::NumaCompute, Role::AggHome,
+                               Role::ComaHome, Role::NumaHome};
+
+    std::ostringstream os;
+    os << "<!-- Generated by pimdsm-protocheck from src/proto/spec.cc."
+          " Do not edit. -->\n\n";
+    os << "# Coherence protocol specification\n\n";
+    os << "Source of truth: `src/proto/spec.cc` (the simulator "
+          "dispatches through this\ntable; `pimdsm-protocheck` "
+          "verifies it statically and generated this file).\n\n";
+
+    os << "## Messages\n\n";
+    os << "| Message | Class | Network | Sink | Description |\n";
+    os << "|---|---|---|---|---|\n";
+    for (int i = 0; i < kNumMsgTypes; ++i) {
+        const MessageDecl &d = spec.decl(static_cast<MsgType>(i));
+        os << "| " << msgTypeName(d.type) << " | "
+           << msgClassName(d.cls) << " | " << vnName(d.vn) << " | "
+           << (d.sink ? "yes" : "") << " | " << d.doc << " |\n";
+    }
+    os << "\n";
+
+    os << "## Handler cost model (Table 2)\n\n";
+    os << "| Cost key | Latency | Occupancy |\n";
+    os << "|---|---|---|\n";
+    for (CostKey k : {CostKey::Read, CostKey::ReadEx,
+                      CostKey::WriteBack, CostKey::Ack,
+                      CostKey::MsgEngine, CostKey::CimScan}) {
+        Tick lat = 0;
+        Tick occ = 0;
+        resolveCostKey(k, cfg, lat, occ);
+        os << "| " << costKeyName(k) << " | " << lat << " | " << occ
+           << " |\n";
+    }
+    os << "\nNUMA/COMA hardware controllers scale these by "
+       << cfg.handlers.hardwareFactor << " (hardwareFactor).\n\n";
+
+    os << "## Virtual-network discipline\n\n";
+    os << "Networks in dependency order: ";
+    for (int v = 0; v < kNumVns; ++v) {
+        if (v)
+            os << " < ";
+        os << vnName(static_cast<Vn>(v));
+    }
+    os << ".\nA handler consuming a message on one network may only "
+          "send on later\nnetworks; protocheck verifies the induced "
+          "graph is acyclic. Exemptions\n(verified separately): "
+          "`(evict)` sends drain through the writeback buffer,\n"
+          "`(bounded)` sends are COMA's provider search capped at "
+          "maxProviderTries,\nand sink messages (";
+    bool first = true;
+    for (int i = 0; i < kNumMsgTypes; ++i) {
+        const MessageDecl &d = spec.decl(static_cast<MsgType>(i));
+        if (!d.sink)
+            continue;
+        if (!first)
+            os << ", ";
+        os << msgTypeName(d.type);
+        first = false;
+    }
+    os << ") are always consumed without sending.\n\n";
+
+    for (Role r : all) {
+        os << "## " << roleName(r) << "\n\n";
+        os << "Initial state: `"
+           << lineStateName(ProtocolSpec::initialStateOf(r))
+           << "`.\n\n";
+        os << "| State | Message | Outcome | Cost | Sends | Next | "
+              "Notes |\n";
+        os << "|---|---|---|---|---|---|---|\n";
+        for (LineState s : ProtocolSpec::statesOf(r)) {
+            for (int i = 0; i < kNumMsgTypes; ++i) {
+                const Transition *t =
+                    spec.find(r, s, static_cast<MsgType>(i));
+                if (!t)
+                    continue;
+                os << "| " << lineStateName(s) << " | "
+                   << msgTypeName(t->msg) << " | "
+                   << outcomeName(t->outcome) << " | "
+                   << (t->cost == CostKey::None
+                           ? "—"
+                           : costKeyName(t->cost))
+                   << " | " << sendsToString(*t) << " | "
+                   << (t->outcome == Outcome::Handled
+                           ? nextToString(*t)
+                           : "—")
+                   << " | " << t->note << " |\n";
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace spec
+} // namespace pimdsm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Static analysis over the declarative protocol spec (spec.hh).
+ *
+ * checkSpec() proves, for one machine organization's roles (or all
+ * six), that:
+ *  - every (state x MsgType) pair has exactly one registered row
+ *    (coverage, no duplicates, no silently-unhandled pairs);
+ *  - the virtual-network dependency graph induced by "a handler
+ *    processing network A may send on network B" is acyclic, after
+ *    discounting the declared, separately-verified exemptions (sink
+ *    messages, replacement-triggered sends, statically bounded retry
+ *    chains) — the DASH channel-dependency deadlock-freedom argument;
+ *  - every Handled transition's cost key resolves against the
+ *    configured Table-2 cost model (no spec/cost drift);
+ *  - every state is reachable from the role's initial state;
+ *  - every MsgType routes unambiguously to the home side or the
+ *    compute side (the derivation base of msgBoundForHome).
+ *
+ * renderDot()/renderMarkdown() emit the state graph and the protocol
+ * documentation from the same table, deterministically (byte-for-byte
+ * reproducible in CI).
+ */
+
+#ifndef PIMDSM_PROTO_SPEC_CHECK_HH
+#define PIMDSM_PROTO_SPEC_CHECK_HH
+
+#include <string>
+#include <vector>
+
+#include "proto/spec.hh"
+
+namespace pimdsm
+{
+namespace spec
+{
+
+struct Violation
+{
+    enum class Kind
+    {
+        UndeclaredMsg, ///< MsgType used/undeclared in the decl table
+        Duplicate,     ///< two rows for one (role, state, msg)
+        BadState,      ///< row uses a state outside statesOf(role)
+        Coverage,      ///< (state x MsgType) pair with no row
+        ClassCycle,    ///< virtual-network dependency cycle
+        SinkViolation, ///< sink-declared message with a sending handler
+        Cost,          ///< cost key missing or unresolvable
+        Reachability,  ///< state unreachable from the initial state
+        Routing,       ///< message accepted by both home and compute
+    };
+
+    Kind kind = Kind::Coverage;
+    /** Location, e.g. "AggHome HomeShared x ReadReq". */
+    std::string where;
+    std::string detail;
+
+    std::string toString() const;
+};
+
+const char *violationKindName(Violation::Kind k);
+
+struct CheckReport
+{
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+    bool has(Violation::Kind k) const;
+    /** One violation per line (empty string when clean). */
+    std::string toString() const;
+};
+
+/**
+ * Run every static check over @p roles against @p cfg's cost model.
+ * The routing check always inspects all six roles (it is a property
+ * of the whole message space, not of one organization).
+ */
+CheckReport checkSpec(const ProtocolSpec &spec,
+                      const std::vector<Role> &roles,
+                      const MachineConfig &cfg);
+
+/** DOT state-transition graph over @p roles (one cluster per role). */
+std::string renderDot(const ProtocolSpec &spec,
+                      const std::vector<Role> &roles);
+
+/**
+ * Markdown documentation of the full spec: message declarations,
+ * resolved cost model, per-role transition tables, and the
+ * virtual-network discipline with its exemptions. Deterministic.
+ */
+std::string renderMarkdown(const ProtocolSpec &spec,
+                           const MachineConfig &cfg);
+
+} // namespace spec
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_SPEC_CHECK_HH

@@ -102,6 +102,11 @@ struct HandlerCosts
     double softwareFactor = 1.0;
     /** Delay before a polling D-node notices an arrived message. */
     Tick pollDelay = 15;
+    /**
+     * Compute-side hardware message engine: fixed cost to process one
+     * incoming protocol message at a P-node/COMA/NUMA node.
+     */
+    Tick msgEngineLatency = 10;
 };
 
 /** Processor core model (Table 1). */

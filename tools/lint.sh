@@ -49,6 +49,19 @@ if [ -n "$missing" ]; then
     complain "MsgType enumerators missing from msgTypeName():" "$missing"
 fi
 
+# --- 3b. Protocol-spec declaration exhaustiveness ---------------------
+# Every MsgType enumerator must be declared in the protocol spec
+# (src/proto/spec.cc); an undeclared one has no class/routing/network
+# metadata and protocheck would reject any transition that uses it.
+missing=""
+for e in $enums; do
+    grep -qE "declareMsg\((MsgType|MT)::$e," src/proto/spec.cc ||
+        missing="$missing $e"
+done
+if [ -n "$missing" ]; then
+    complain "MsgType enumerators missing a declareMsg() in src/proto/spec.cc:" "$missing"
+fi
+
 # --- 4. Naked new/delete ----------------------------------------------
 hits=$(src_files |
        xargs grep -nE '=\s*new\s|[^_a-zA-Z]delete\s+[a-z]' 2>/dev/null |
