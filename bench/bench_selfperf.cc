@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Simulator self-performance: how fast does the simulator itself run?
+ *
+ * Three workloads exercise the kernel hot paths from different angles:
+ *
+ *  - "stress": raw scheduler churn on a bare EventQueue — a mixed
+ *    near/far schedule distribution modeled on the machine's latencies
+ *    (link hops, handler occupancies, rare far-future watchdogs). This
+ *    isolates schedule/pop/callback dispatch cost.
+ *  - "faults": a fault-campaign run (drops + retries + a D-node death)
+ *    — the heaviest per-event protocol work.
+ *  - "fig6": one Figure-6 point (fft on AGG at the paper's thread
+ *    count) — the representative paper experiment.
+ *
+ * Each reports events executed, wall-clock seconds, events/second, and
+ * process peak RSS. Emits BENCH_selfperf.json for CI trend tracking
+ * (see .github/workflows/perf.yml) and tools/benchsweep.
+ *
+ * Usage: bench_selfperf [--quick] [--kernel=calendar|heap]
+ * (--quick is implied by PIMDSM_QUICK; --kernel selects the scheduler
+ * for the stress workload and the default for machine runs.)
+ */
+
+#include "bench_util.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <sys/resource.h>
+
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+
+using namespace pimdsm;
+using namespace pimdsm::bench;
+
+namespace
+{
+
+struct SelfPerfRow
+{
+    std::string name;
+    std::uint64_t events = 0;
+    double wallSeconds = 0.0;
+    double eventsPerSec = 0.0;
+    long peakRssKb = 0;
+};
+
+long
+peakRssKb()
+{
+    struct rusage ru{};
+    getrusage(RUSAGE_SELF, &ru);
+    return ru.ru_maxrss; // kilobytes on Linux
+}
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/**
+ * Raw kernel churn: @p total events through a bare queue. The delay
+ * distribution mirrors the simulated machine: mostly small constants
+ * (hops, occupancies), a tail of medium memory/disk latencies, and
+ * rare far-future timeouts that exercise the overflow path.
+ */
+SelfPerfRow
+runStress(std::uint64_t total, EventQueue::KernelKind kind)
+{
+    EventQueue eq(kind);
+    Rng rng(0x5e1f9e4full);
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+
+    auto delay = [&rng]() -> Tick {
+        const std::uint64_t r = rng.nextBounded(1000);
+        if (r < 700)
+            return 1 + rng.nextBounded(16); // link hop / occupancy
+        if (r < 950)
+            return 20 + rng.nextBounded(400); // handler / memory
+        if (r < 998)
+            return 1000 + rng.nextBounded(11000); // disk page-in
+        return 50000 + rng.nextBounded(200000); // watchdog horizon
+    };
+
+    // Self-replenishing load: each event reschedules itself (and
+    // occasionally a sibling) until the budget is spent, holding a few
+    // thousand events in flight like a busy machine does.
+    std::function<void()> tick = [&] {
+        ++fired;
+        if (scheduled < total) {
+            ++scheduled;
+            eq.scheduleIn(delay(), [&tick] { tick(); });
+        }
+        if (scheduled < total && rng.chance(0.02)) {
+            ++scheduled;
+            eq.scheduleIn(delay(), [&tick] { tick(); });
+        }
+    };
+
+    const auto t0 = Clock::now();
+    constexpr std::uint64_t kSeedEvents = 4096;
+    for (std::uint64_t i = 0; i < kSeedEvents && scheduled < total; ++i) {
+        ++scheduled;
+        eq.scheduleIn(delay(), [&tick] { tick(); });
+    }
+    eq.run();
+    const double secs = secondsSince(t0);
+
+    if (fired != scheduled)
+        panic("stress workload lost events");
+
+    SelfPerfRow row;
+    row.name = "stress";
+    row.events = fired;
+    row.wallSeconds = secs;
+    row.eventsPerSec = secs > 0 ? static_cast<double>(fired) / secs : 0;
+    row.peakRssKb = peakRssKb();
+    return row;
+}
+
+/** Fault campaign: drops + retries + one mid-run D-node death. */
+SelfPerfRow
+runFaultCampaign()
+{
+    auto wl = makeWorkload("fft", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = std::getenv("PIMDSM_QUICK") ? 4 : 8;
+    spec.pressure = 0.25;
+    spec.dRatio = 2;
+    MachineConfig cfg = buildConfig(*wl, spec);
+    cfg.faults.setUniformDropRate(0.05);
+    cfg.faults.seed = 0x5eedull;
+    cfg.faults.deaths.push_back(
+        DNodeDeath{4000, static_cast<NodeId>(cfg.numPNodes)});
+
+    warnResetForTest();
+    const auto t0 = Clock::now();
+    const RunResult r = runWorkload(cfg, *wl);
+    const double secs = secondsSince(t0);
+    warnResetForTest();
+
+    SelfPerfRow row;
+    row.name = "faults";
+    row.events = static_cast<std::uint64_t>(
+        r.counters.at("sim.events_executed"));
+    row.wallSeconds = secs;
+    row.eventsPerSec =
+        secs > 0 ? static_cast<double>(row.events) / secs : 0;
+    row.peakRssKb = peakRssKb();
+    return row;
+}
+
+/** One Figure-6 point: fft on AGG at the paper's thread count. */
+SelfPerfRow
+runFig6Point()
+{
+    auto wl = makeWorkload("fft", 1);
+    const RunResult r = run(*wl, ArchKind::Agg, paperThreads(), 0.25,
+                            reducedDRatio("fft"));
+
+    SelfPerfRow row;
+    row.name = "fig6";
+    row.events = static_cast<std::uint64_t>(
+        r.counters.at("sim.events_executed"));
+    row.peakRssKb = peakRssKb();
+    return row;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = std::getenv("PIMDSM_QUICK") != nullptr;
+    EventQueue::KernelKind kind = EventQueue::defaultKind();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--kernel=heap") == 0) {
+            kind = EventQueue::KernelKind::ReferenceHeap;
+        } else if (std::strcmp(argv[i], "--kernel=calendar") == 0) {
+            kind = EventQueue::KernelKind::Calendar;
+        } else {
+            std::cerr << "usage: bench_selfperf [--quick] "
+                         "[--kernel=calendar|heap]\n";
+            return 2;
+        }
+    }
+    if (quick)
+        setenv("PIMDSM_QUICK", "1", 1);
+    EventQueue::setDefaultKind(kind);
+
+    banner("Simulator self-performance",
+           "simulator implementation metric (no paper analogue)");
+    std::cout << "kernel: "
+              << (kind == EventQueue::KernelKind::Calendar
+                      ? "calendar"
+                      : "reference-heap")
+              << (quick ? " (quick)" : "") << "\n\n";
+
+    std::vector<SelfPerfRow> rows;
+    rows.push_back(runStress(quick ? 300'000 : 3'000'000, kind));
+    // Machine runs re-time wall clock around the full experiment
+    // runner, so they include machine construction.
+    rows.push_back(runFaultCampaign());
+    {
+        const auto t0 = Clock::now();
+        SelfPerfRow fig6 = runFig6Point();
+        fig6.wallSeconds = secondsSince(t0);
+        fig6.eventsPerSec =
+            fig6.wallSeconds > 0
+                ? static_cast<double>(fig6.events) / fig6.wallSeconds
+                : 0;
+        rows.push_back(fig6);
+    }
+
+    std::cout << "workload       events      wall(s)     events/sec"
+                 "   peakRSS(MB)\n";
+    for (const auto &r : rows) {
+        std::printf("%-10s %10llu %10.3f %14.0f %10.1f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.events),
+                    r.wallSeconds, r.eventsPerSec,
+                    static_cast<double>(r.peakRssKb) / 1024.0);
+    }
+
+    std::ofstream js("BENCH_selfperf.json");
+    js << "{\n  \"bench\": \"selfperf\",\n  \"kernel\": \""
+       << (kind == EventQueue::KernelKind::Calendar ? "calendar"
+                                                    : "heap")
+       << "\",\n  \"quick\": " << (quick ? "true" : "false")
+       << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        js << "    {\"workload\": \"" << r.name
+           << "\", \"events\": " << r.events
+           << ", \"wall_seconds\": " << r.wallSeconds
+           << ", \"events_per_sec\": " << r.eventsPerSec
+           << ", \"peak_rss_kb\": " << r.peakRssKb << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::cout << "\nwrote BENCH_selfperf.json (" << rows.size()
+              << " workloads)\n";
+    return 0;
+}

@@ -175,15 +175,24 @@ Machine::send(Message msg)
     if (interceptor_ && interceptor_(msg))
         return;
 
-    auto deliver = [this, msg] { deliverDirect(msg); };
+    const NodeId src = msg.src;
+    const NodeId dst = msg.dst;
+    const int payload = msg.payloadBytes(cfg_.mem.lineBytes);
+    const MsgClass cls = msgClassOf(msg.type);
 
-    if (msg.src == msg.dst) {
+    // Park the payload in the pool: the delivery closure carries a
+    // 16-byte handle, not an ~80-byte Message, and a dropped delivery
+    // frees the slot via the handle's destructor.
+    auto deliver = [this, h = msgPool_.make(std::move(msg))] {
+        deliverDirect(h.get());
+    };
+
+    if (src == dst) {
         // On-chip: bypass the network entirely.
         eq_.scheduleIn(1, std::move(deliver));
         return;
     }
-    mesh_.send(msg.src, msg.dst, msg.payloadBytes(cfg_.mem.lineBytes),
-               std::move(deliver), msgClassOf(msg.type));
+    mesh_.send(src, dst, payload, std::move(deliver), cls);
 }
 
 void

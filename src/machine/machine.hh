@@ -10,13 +10,14 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "check/oracle.hh"
 #include "machine/page_map.hh"
 #include "net/mesh.hh"
 #include "sim/fault.hh"
+#include "sim/flat_map.hh"
+#include "sim/pool.hh"
 #include "proto/agg_dnode.hh"
 #include "proto/agg_pnode.hh"
 #include "proto/coma_node.hh"
@@ -87,8 +88,13 @@ class Machine : public ProtoContext
     const HomeBase *home(NodeId n) const { return homes_[n].get(); }
 
     Mesh &mesh() { return mesh_; }
+    const Mesh &mesh() const { return mesh_; }
     PageMap &pageMap() { return pageMap_; }
     FaultPlan &faultPlan() { return faults_; }
+
+    /** In-flight message pool (tests assert it drains; selfperf
+     *  reports its high-water mark). */
+    const RefPool<Message> &messagePool() const { return msgPool_; }
 
     CoherenceOracle &oracle() { return oracle_; }
     const CoherenceOracle &oracle() const { return oracle_; }
@@ -156,13 +162,17 @@ class Machine : public ProtoContext
     void buildNumaOrComa();
 
     MachineConfig cfg_;
+    /** In-flight message payloads; delivery closures capture a pooled
+     *  handle instead of a Message copy. Declared before eq_ so it
+     *  outlives any still-scheduled delivery events at destruction. */
+    RefPool<Message> msgPool_;
     EventQueue eq_;
     Mesh mesh_;
     PageMap pageMap_;
     std::vector<NodeRole> roles_;
     std::vector<std::unique_ptr<ComputeBase>> computes_;
     std::vector<std::unique_ptr<HomeBase>> homes_;
-    std::unordered_map<Addr, Version> versions_;
+    FlatMap<Addr, Version> versions_;
     StatSet stats_;
     std::uint64_t nextDNode_ = 0;
     FaultPlan faults_;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "mem/cache_array.hh"
+#include "sim/function_ref.hh"
 #include "sim/config.hh"
 #include "sim/types.hh"
 
@@ -82,7 +83,7 @@ class Cache
 
     /** Visit every valid line (coherence-oracle and census scans). */
     void
-    forEachValidLine(const std::function<void(const CacheLine &)> &fn) const
+    forEachValidLine(FunctionRef<void(const CacheLine &)> fn) const
     {
         array_.forEach([&](const CacheLine &l) {
             if (l.valid())

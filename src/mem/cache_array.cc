@@ -131,21 +131,21 @@ CacheArray::invalidateAll()
 }
 
 void
-CacheArray::forEach(const std::function<void(CacheLine &)> &fn)
+CacheArray::forEach(FunctionRef<void(CacheLine &)> fn)
 {
     for (auto &line : lines_)
         fn(line);
 }
 
 void
-CacheArray::forEach(const std::function<void(const CacheLine &)> &fn) const
+CacheArray::forEach(FunctionRef<void(const CacheLine &)> fn) const
 {
     for (const auto &line : lines_)
         fn(line);
 }
 
 void
-CacheArray::forEachInSet(int set, const std::function<void(CacheLine &)> &fn)
+CacheArray::forEachInSet(int set, FunctionRef<void(CacheLine &)> fn)
 {
     CacheLine *base = &lines_[static_cast<std::size_t>(set) * assoc_];
     for (int w = 0; w < assoc_; ++w)

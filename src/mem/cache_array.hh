@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/types.hh"
+#include "sim/function_ref.hh"
 
 namespace pimdsm
 {
@@ -129,11 +130,11 @@ class CacheArray
     void invalidateAll();
 
     /** Visit every entry (valid or not). */
-    void forEach(const std::function<void(CacheLine &)> &fn);
-    void forEach(const std::function<void(const CacheLine &)> &fn) const;
+    void forEach(FunctionRef<void(CacheLine &)> fn);
+    void forEach(FunctionRef<void(const CacheLine &)> fn) const;
 
     /** Visit the ways of one set. */
-    void forEachInSet(int set, const std::function<void(CacheLine &)> &fn);
+    void forEachInSet(int set, FunctionRef<void(CacheLine &)> fn);
 
     /** Count of valid entries (linear scan; for tests and census). */
     std::uint64_t countValid() const;

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "mem/cache_array.hh"
+#include "sim/function_ref.hh"
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/types.hh"
@@ -79,7 +80,7 @@ class TaggedMemory
 
     /** Visit every valid line (coherence-oracle and census scans). */
     void
-    forEachValidLine(const std::function<void(const CacheLine &)> &fn) const
+    forEachValidLine(FunctionRef<void(const CacheLine &)> fn) const
     {
         array_.forEach([&](const CacheLine &l) {
             if (l.valid())

@@ -60,7 +60,7 @@ Mesh::hops(NodeId src, NodeId dst) const
 
 void
 Mesh::walkPath(NodeId src, NodeId dst,
-               const std::function<void(int, int, int)> &per_hop) const
+               FunctionRef<void(int, int, int)> per_hop) const
 {
     int x = nodeX(src);
     int y = nodeY(src);
@@ -182,6 +182,15 @@ Mesh::totalLinkBusy() const
     Tick t = 0;
     for (const auto &l : links_)
         t += l.busyTicks();
+    return t;
+}
+
+Tick
+Mesh::totalLinkWait() const
+{
+    Tick t = 0;
+    for (const auto &l : links_)
+        t += l.waitTicks();
     return t;
 }
 

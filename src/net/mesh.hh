@@ -15,12 +15,13 @@
 #define PIMDSM_NET_MESH_HH
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "sim/config.hh"
 #include "sim/event_queue.hh"
 #include "sim/fault.hh"
+#include "sim/function_ref.hh"
+#include "sim/inline_callback.hh"
 #include "sim/types.hh"
 
 namespace pimdsm
@@ -29,8 +30,11 @@ namespace pimdsm
 class Mesh
 {
   public:
-    /** Invoked at the destination when the message tail arrives. */
-    using DeliverFn = std::function<void()>;
+    /** Invoked at the destination when the message tail arrives.
+     *  Pooled small-buffer callback: scheduling a delivery allocates
+     *  nothing as long as the closure fits inline (see Machine::send,
+     *  which captures a pooled message handle, not the Message). */
+    using DeliverFn = InlineCallback;
 
     Mesh(EventQueue &eq, const NetParams &params, int num_nodes);
 
@@ -77,6 +81,9 @@ class Mesh
     /** Aggregate busy ticks over all links (network load metric). */
     Tick totalLinkBusy() const;
 
+    /** Aggregate ticks messages waited for busy links (contention). */
+    Tick totalLinkWait() const;
+
     const NetParams &params() const { return params_; }
 
     /**
@@ -116,7 +123,7 @@ class Mesh
      * directed link as (x, y, dir) of the link's source router.
      */
     void walkPath(NodeId src, NodeId dst,
-                  const std::function<void(int, int, int)> &per_hop) const;
+                  FunctionRef<void(int, int, int)> per_hop) const;
 
     EventQueue &eq_;
     NetParams params_;

@@ -153,7 +153,7 @@ DNodeStore::lastTouch(std::uint32_t slot) const
 
 void
 DNodeStore::forEachHomeMaster(
-    const std::function<void(std::uint32_t, Addr)> &fn) const
+    FunctionRef<void(std::uint32_t, Addr)> fn) const
 {
     for (std::uint32_t i = 0; i < entries_.size(); ++i) {
         if (entries_[i].link == Link::None)

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "proto/home_base.hh"
+#include "sim/function_ref.hh"
 
 namespace pimdsm
 {
@@ -80,7 +81,7 @@ class DNodeStore
      * ("D-Node Only"), the page-out candidates.
      */
     void forEachHomeMaster(
-        const std::function<void(std::uint32_t, Addr)> &fn) const;
+        FunctionRef<void(std::uint32_t, Addr)> fn) const;
 
     /** Structural invariants (list integrity); panics on violation. */
     void checkIntegrity() const;

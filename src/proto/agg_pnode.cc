@@ -221,7 +221,7 @@ CachedMemCompute::handleMasterGrant(const Message &msg)
 
 void
 CachedMemCompute::forEachOwnedLine(
-    const std::function<void(Addr, CohState, Version)> &fn)
+    FunctionRef<void(Addr, CohState, Version)> fn)
 {
     mem_.array().forEach([&](CacheLine &l) {
         if (l.valid())
@@ -231,7 +231,7 @@ CachedMemCompute::forEachOwnedLine(
 
 void
 CachedMemCompute::forEachValidLine(
-    const std::function<void(Addr, CohState, Version)> &fn) const
+    FunctionRef<void(Addr, CohState, Version)> fn) const
 {
     mem_.array().forEach([&](const CacheLine &l) {
         if (l.valid())

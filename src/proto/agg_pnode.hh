@@ -38,8 +38,7 @@ class CachedMemCompute : public ComputeBase
     CohState peekState(Addr line) const { return nodeState(line); }
 
     void forEachValidLine(
-        const std::function<void(Addr, CohState, Version)> &fn)
-        const override;
+        FunctionRef<void(Addr, CohState, Version)> fn) const override;
 
   protected:
     CohState nodeState(Addr line) const override;
@@ -55,7 +54,7 @@ class CachedMemCompute : public ComputeBase
     void handleInject(const Message &msg) override;
     void handleMasterGrant(const Message &msg) override;
     void forEachOwnedLine(
-        const std::function<void(Addr, CohState, Version)> &fn) override;
+        FunctionRef<void(Addr, CohState, Version)> fn) override;
     void invalidateAllLocal() override;
 
   private:

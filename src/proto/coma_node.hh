@@ -10,7 +10,6 @@
 #ifndef PIMDSM_PROTO_COMA_NODE_HH
 #define PIMDSM_PROTO_COMA_NODE_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "proto/agg_pnode.hh"
@@ -72,7 +71,7 @@ class ComaHome : public HomeBase
     int numNodes_;
     int maxProviderTries_;
     Rng rng_;
-    std::unordered_map<Addr, PendingInject> pendingInjects_;
+    FlatMap<Addr, PendingInject> pendingInjects_;
 
     std::uint64_t injections_ = 0;
     std::uint64_t injectionHops_ = 0;

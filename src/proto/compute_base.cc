@@ -25,6 +25,14 @@ ComputeBase::ComputeBase(ProtoContext &ctx, NodeId self, spec::Role role)
       msgEngineLatency_(ctx.config().handlers.msgEngineLatency),
       faultsOn_(ctx.config().faults.enabled())
 {
+    // The MSHR file is bounded by config, so sizing the flat maps for
+    // twice that keeps them below max load forever: no rehash, and no
+    // reference ever invalidated by an insert.
+    const std::size_t cap =
+        2 * static_cast<std::size_t>(maxMshrs_ > 0 ? maxMshrs_ : 16);
+    mshrs_.reserve(cap);
+    wbPending_.reserve(cap);
+    wbBlocked_.reserve(cap);
 }
 
 const ComputeBase::DispatchTable &

@@ -23,13 +23,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "mem/cache.hh"
 #include "proto/context.hh"
 #include "proto/message.hh"
 #include "proto/spec.hh"
+#include "sim/flat_map.hh"
+#include "sim/function_ref.hh"
 #include "sim/stats.hh"
 
 namespace pimdsm
@@ -101,8 +102,7 @@ class ComputeBase
 
     /** Every valid node-level copy (coherence scans; see check/). */
     virtual void forEachValidLine(
-        const std::function<void(Addr, CohState, Version)> &fn)
-        const = 0;
+        FunctionRef<void(Addr, CohState, Version)> fn) const = 0;
 
     /** No transaction, writeback, or blocked access in flight. */
     bool
@@ -233,7 +233,7 @@ class ComputeBase
 
     /** Iterate owned lines for flushAll. */
     virtual void forEachOwnedLine(
-        const std::function<void(Addr, CohState, Version)> &fn) = 0;
+        FunctionRef<void(Addr, CohState, Version)> fn) = 0;
 
     /** Clear all node storage (after flush). */
     virtual void invalidateAllLocal() = 0;
@@ -323,12 +323,12 @@ class ComputeBase
     Cache l1_;
     Cache l2_;
 
-    std::unordered_map<Addr, Mshr> mshrs_;
+    FlatMap<Addr, Mshr> mshrs_;
     std::deque<PendingAccess> blocked_;
     /** Displaced owned lines awaiting WriteBackAck. */
-    std::unordered_map<Addr, WbPending> wbPending_;
+    FlatMap<Addr, WbPending> wbPending_;
     /** Accesses waiting for a WriteBackAck on their line. */
-    std::unordered_map<Addr, std::deque<PendingAccess>> wbBlocked_;
+    FlatMap<Addr, std::deque<PendingAccess>> wbBlocked_;
 
     int maxMshrs_ = 16;
     /** Fixed cost of detecting a node-level miss (tag check). */

@@ -1,5 +1,7 @@
 #include "proto/directory.hh"
 
+#include <algorithm>
+
 namespace pimdsm
 {
 
@@ -17,19 +19,36 @@ DirectoryTable::find(Addr line)
     return it == entries_.end() ? nullptr : &it->second;
 }
 
-void
-DirectoryTable::forEach(
-    const std::function<void(Addr, const DirEntry &)> &fn) const
+std::vector<Addr>
+DirectoryTable::sortedLines() const
 {
+    std::vector<Addr> lines;
+    lines.reserve(entries_.size());
     for (const auto &[addr, e] : entries_)
-        fn(addr, e);
+        lines.push_back(addr);
+    std::sort(lines.begin(), lines.end());
+    return lines;
 }
 
 void
-DirectoryTable::forEach(const std::function<void(Addr, DirEntry &)> &fn)
+DirectoryTable::forEach(
+    FunctionRef<void(Addr, const DirEntry &)> fn) const
 {
-    for (auto &[addr, e] : entries_)
-        fn(addr, e);
+    for (Addr addr : sortedLines()) {
+        if (const DirEntry *e = find(addr))
+            fn(addr, *e);
+    }
+}
+
+void
+DirectoryTable::forEach(FunctionRef<void(Addr, DirEntry &)> fn)
+{
+    // Iterating over a sorted key snapshot (rather than table slots)
+    // also makes it legal for the visitor to erase entries.
+    for (Addr addr : sortedLines()) {
+        if (DirEntry *e = find(addr))
+            fn(addr, *e);
+    }
 }
 
 } // namespace pimdsm

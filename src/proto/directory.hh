@@ -9,10 +9,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "proto/message.hh"
+#include "sim/flat_map.hh"
+#include "sim/function_ref.hh"
 #include "sim/types.hh"
 
 namespace pimdsm
@@ -100,9 +101,17 @@ class DirectoryTable
 
     std::size_t size() const { return entries_.size(); }
 
-    void forEach(
-        const std::function<void(Addr, const DirEntry &)> &fn) const;
-    void forEach(const std::function<void(Addr, DirEntry &)> &fn);
+    /**
+     * Visit every entry in ascending line-address order. The canonical
+     * order makes every walk that derives machine state from the
+     * directory (census, reconfiguration adoption, invariant scans)
+     * independent of hash-table layout history.
+     */
+    void forEach(FunctionRef<void(Addr, const DirEntry &)> fn) const;
+    void forEach(FunctionRef<void(Addr, DirEntry &)> fn);
+
+    /** Size the table for @p n lines up front (no rehash below that). */
+    void reserve(std::size_t n) { entries_.reserve(n); }
 
     /** Drop every entry (reconfiguration: pages unmapped). */
     void clear() { entries_.clear(); }
@@ -111,7 +120,9 @@ class DirectoryTable
     void erase(Addr line) { entries_.erase(line); }
 
   private:
-    std::unordered_map<Addr, DirEntry> entries_;
+    std::vector<Addr> sortedLines() const;
+
+    FlatMap<Addr, DirEntry> entries_;
 };
 
 } // namespace pimdsm

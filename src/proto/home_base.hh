@@ -21,7 +21,6 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <utility>
 
 #include "proto/context.hh"
@@ -29,6 +28,7 @@
 #include "proto/message.hh"
 #include "proto/spec.hh"
 #include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
 
 namespace pimdsm
 {
@@ -261,7 +261,7 @@ class HomeBase
         bool hasReply = false;
         Message reply;
     };
-    std::map<std::pair<Addr, NodeId>, ServedTxn> served_;
+    FlatMap<std::pair<Addr, NodeId>, ServedTxn> served_;
     /** Cached cfg().faults.enabled(). */
     bool faultsOn_ = false;
     /** Fail-stop: node died; ignore everything. */

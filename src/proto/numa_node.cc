@@ -91,7 +91,7 @@ NumaCompute::fwdDataLatency() const
 
 void
 NumaCompute::forEachValidLine(
-    const std::function<void(Addr, CohState, Version)> &fn) const
+    FunctionRef<void(Addr, CohState, Version)> fn) const
 {
     l2_.array().forEach([&](const CacheLine &l) {
         if (l.valid())
@@ -101,7 +101,7 @@ NumaCompute::forEachValidLine(
 
 void
 NumaCompute::forEachOwnedLine(
-    const std::function<void(Addr, CohState, Version)> &fn)
+    FunctionRef<void(Addr, CohState, Version)> fn)
 {
     l2_.array().forEach([&](CacheLine &l) {
         if (l.valid())

@@ -22,8 +22,7 @@ class NumaCompute : public ComputeBase
     NumaCompute(ProtoContext &ctx, NodeId self);
 
     void forEachValidLine(
-        const std::function<void(Addr, CohState, Version)> &fn)
-        const override;
+        FunctionRef<void(Addr, CohState, Version)> fn) const override;
 
   protected:
     CohState nodeState(Addr line) const override;
@@ -37,7 +36,7 @@ class NumaCompute : public ComputeBase
     Tick fwdDataLatency() const override;
     CohState downgradeState() const override { return CohState::Shared; }
     void forEachOwnedLine(
-        const std::function<void(Addr, CohState, Version)> &fn) override;
+        FunctionRef<void(Addr, CohState, Version)> fn) override;
     void invalidateAllLocal() override {}
 };
 

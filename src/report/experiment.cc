@@ -173,6 +173,21 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
     result.messages = m.messagesSent();
     result.counters = m.stats().all();
 
+    // Contention summary: ticks transactions spent queued behind busy
+    // resources (mesh links, home protocol engines).
+    result.counters["net.link_wait_ticks"] =
+        static_cast<double>(m.mesh().totalLinkWait());
+    double engine_wait = 0;
+    for (NodeId n = 0; n < m.totalNodes(); ++n) {
+        if (m.home(n)) {
+            engine_wait +=
+                static_cast<double>(m.home(n)->engine().waitTicks());
+        }
+    }
+    result.counters["home.engine_wait_ticks"] = engine_wait;
+    result.counters["sim.events_executed"] =
+        static_cast<double>(m.eq().executed());
+
     const auto dnodes = m.directoryNodes();
     if (!dnodes.empty() && result.totalTicks > 0) {
         double sum = 0;

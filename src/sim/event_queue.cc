@@ -1,51 +1,222 @@
 #include "sim/event_queue.hh"
 
+#include <bit>
+#include <cstdlib>
+
 #include "sim/log.hh"
 
 namespace pimdsm
 {
+
+namespace
+{
+
+EventQueue::KernelKind &
+defaultKindStorage()
+{
+    static EventQueue::KernelKind kind = [] {
+        const char *env = std::getenv("PIMDSM_REF_KERNEL");
+        return (env && env[0] != '\0' && env[0] != '0')
+                   ? EventQueue::KernelKind::ReferenceHeap
+                   : EventQueue::KernelKind::Calendar;
+    }();
+    return kind;
+}
+
+} // namespace
+
+EventQueue::KernelKind
+EventQueue::defaultKind()
+{
+    return defaultKindStorage();
+}
+
+void
+EventQueue::setDefaultKind(KernelKind kind)
+{
+    defaultKindStorage() = kind;
+}
+
+EventQueue::EventQueue(KernelKind kind) : kind_(kind)
+{
+    if (kind_ == KernelKind::Calendar) {
+        bucketHead_.assign(kBuckets, nullptr);
+        bucketTail_.assign(kBuckets, nullptr);
+        occ_.assign(kOccWords, 0);
+    }
+}
+
+EventQueue::EventNode *
+EventQueue::allocNode()
+{
+    if (!freeList_) {
+        slabs_.push_back(std::make_unique<EventNode[]>(kSlabNodes));
+        EventNode *slab = slabs_.back().get();
+        for (std::size_t i = 0; i < kSlabNodes; ++i) {
+            slab[i].next = freeList_;
+            freeList_ = &slab[i];
+        }
+        poolCapacity_ += kSlabNodes;
+        poolFreeCount_ += kSlabNodes;
+    }
+    EventNode *n = freeList_;
+    freeList_ = n->next;
+    --poolFreeCount_;
+    n->next = nullptr;
+    return n;
+}
+
+void
+EventQueue::freeNode(EventNode *n)
+{
+    n->fn.reset();
+    n->next = freeList_;
+    freeList_ = n;
+    ++poolFreeCount_;
+}
+
+void
+EventQueue::pushBucket(EventNode *n)
+{
+    const std::size_t idx = static_cast<std::size_t>(n->when) &
+                            kBucketMask;
+    n->next = nullptr;
+    if (bucketTail_[idx]) {
+        bucketTail_[idx]->next = n;
+    } else {
+        bucketHead_[idx] = n;
+        occ_[idx >> 6] |= 1ull << (idx & 63);
+    }
+    bucketTail_[idx] = n;
+    ++bucketedCount_;
+}
 
 void
 EventQueue::schedule(Tick when, Callback fn)
 {
     if (when < curTick_)
         panic("event scheduled in the past");
-    heap_.push(Entry{when, nextSeq_++, std::move(fn)});
+    ++size_;
+    if (kind_ == KernelKind::ReferenceHeap) {
+        heap_.push(RefEntry{when, nextSeq_++, std::move(fn)});
+        return;
+    }
+    EventNode *n = allocNode();
+    n->when = when;
+    n->seq = nextSeq_++;
+    n->fn = std::move(fn);
+    // Ring window is [base_, base_ + kBuckets). base_ can sit ahead of
+    // curTick after a migration whose events a bounded runUntil() did
+    // not reach; events scheduled below the window then take the
+    // overflow heap too (peek compares the heap top against the
+    // bucket candidate, so ordering is preserved).
+    if (when >= base_ && when - base_ < kBuckets)
+        pushBucket(n);
+    else
+        overflow_.push(n);
 }
 
-bool
-EventQueue::runOne()
+void
+EventQueue::migrateOverflow()
 {
-    if (heap_.empty())
-        return false;
-    // Move the callback out before popping so that the callback may
-    // schedule new events without invalidating the entry.
-    Entry e = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    curTick_ = e.when;
-    e.fn();
-    return true;
+    // The buckets drained: jump the window to the next overflow event
+    // and pull everything now in range into the ring. Popping the heap
+    // yields (when, seq) order, so same-tick FIFO order is preserved
+    // bucket by bucket.
+    base_ = overflow_.top()->when;
+    while (!overflow_.empty() &&
+           overflow_.top()->when - base_ < kBuckets) {
+        EventNode *n = overflow_.top();
+        overflow_.pop();
+        pushBucket(n);
+    }
+}
+
+EventQueue::EventNode *
+EventQueue::scanBuckets(std::size_t &bucket_idx_out) const
+{
+    // All occupied buckets hold ticks in [start, base_ + kBuckets), a
+    // range of at most kBuckets ticks, so a circular first-set-bit
+    // scan from start's slot cannot alias an older tick.
+    const Tick start = curTick_ > base_ ? curTick_ : base_;
+    const std::size_t startIdx = static_cast<std::size_t>(start) &
+                                 kBucketMask;
+    std::size_t w = startIdx >> 6;
+    std::uint64_t word = occ_[w] & (~0ull << (startIdx & 63));
+    for (std::size_t steps = 0; steps <= kOccWords; ++steps) {
+        if (word) {
+            const std::size_t idx = (w << 6) +
+                                    static_cast<std::size_t>(
+                                        std::countr_zero(word));
+            bucket_idx_out = idx;
+            return bucketHead_[idx];
+        }
+        w = (w + 1) & (kOccWords - 1);
+        word = occ_[w];
+    }
+    panic("calendar queue lost an event (bitmap out of sync)");
 }
 
 std::uint64_t
-EventQueue::run(std::uint64_t max_events)
+EventQueue::runCore(std::uint64_t max_events, Tick until)
 {
     std::uint64_t n = 0;
-    while (n < max_events && runOne())
-        ++n;
-    return n;
-}
+    if (kind_ == KernelKind::ReferenceHeap) {
+        while (n < max_events && !heap_.empty() &&
+               heap_.top().when <= until) {
+            // Move the callback out before popping so that the
+            // callback may schedule new events without invalidating
+            // the entry.
+            RefEntry e = std::move(const_cast<RefEntry &>(heap_.top()));
+            heap_.pop();
+            --size_;
+            curTick_ = e.when;
+            e.fn();
+            ++n;
+        }
+        executed_ += n;
+        return n;
+    }
 
-std::uint64_t
-EventQueue::runUntil(Tick until)
-{
-    std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= until) {
-        runOne();
+    while (n < max_events) {
+        if (size_ == 0)
+            break;
+        if (bucketedCount_ == 0)
+            migrateOverflow();
+
+        std::size_t idx = 0;
+        EventNode *ev = scanBuckets(idx);
+        bool fromBucket = true;
+        if (!overflow_.empty() && overflow_.top()->when < ev->when) {
+            // A below-window straggler (see schedule()); serve it
+            // straight from the heap. Ticks can't tie: bucketed events
+            // are >= base_, below-window ones strictly less.
+            ev = overflow_.top();
+            fromBucket = false;
+        }
+        if (ev->when > until)
+            break;
+
+        // Unlink and recycle the node before invoking the callback, so
+        // the callback may schedule events (possibly reusing the slot).
+        if (fromBucket) {
+            bucketHead_[idx] = ev->next;
+            if (!bucketHead_[idx]) {
+                bucketTail_[idx] = nullptr;
+                occ_[idx >> 6] &= ~(1ull << (idx & 63));
+            }
+            --bucketedCount_;
+        } else {
+            overflow_.pop();
+        }
+        --size_;
+        curTick_ = ev->when;
+        Callback fn = std::move(ev->fn);
+        freeNode(ev);
+        fn();
         ++n;
     }
-    if (curTick_ < until)
-        curTick_ = until;
+    executed_ += n;
     return n;
 }
 

@@ -5,16 +5,29 @@
  * A single EventQueue drives a Machine. Events are callbacks scheduled at
  * an absolute Tick; events at the same tick execute in scheduling order
  * (FIFO), which keeps simulations deterministic.
+ *
+ * Internally the queue is a calendar queue: a ring of single-tick FIFO
+ * buckets covering the near future (where almost every event lands —
+ * link hops, handler occupancies, memory latencies are all small
+ * constants), plus a (when, seq)-ordered overflow heap for far-future
+ * events such as watchdog timeouts and fault sweeps. Schedule and pop
+ * are O(1) on the bucket path. Event closures are stored in pooled,
+ * small-buffer-optimized nodes (see InlineCallback), so the steady
+ * state allocates nothing.
+ *
+ * The execution order — strictly increasing (when, seq) — is
+ * byte-identical to the original binary-heap kernel; a reference-heap
+ * mode is retained for differential testing (see KernelKind).
  */
 
 #ifndef PIMDSM_SIM_EVENT_QUEUE_HH
 #define PIMDSM_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "sim/inline_callback.hh"
 #include "sim/types.hh"
 
 namespace pimdsm
@@ -23,11 +36,33 @@ namespace pimdsm
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
-    EventQueue() = default;
+    /** Scheduler implementation (execution order is identical). */
+    enum class KernelKind
+    {
+        Calendar,      ///< bucket ring + overflow heap (production)
+        ReferenceHeap, ///< std::priority_queue (differential tests)
+    };
+
+    /** run()'s "no limit" budget. */
+    static constexpr std::uint64_t kNoEventLimit = ~0ull;
+
+    EventQueue() : EventQueue(defaultKind()) {}
+    explicit EventQueue(KernelKind kind);
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /**
+     * Kernel used by default-constructed queues. Initialized from the
+     * PIMDSM_REF_KERNEL environment variable (differential testing of
+     * whole machines without plumbing a flag through every ctor);
+     * tests may override it at runtime.
+     */
+    static KernelKind defaultKind();
+    static void setDefaultKind(KernelKind kind);
+
+    KernelKind kind() const { return kind_; }
 
     /** Current simulated time. */
     Tick curTick() const { return curTick_; }
@@ -42,41 +77,141 @@ class EventQueue
     }
 
     /** Number of events not yet executed. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return size_; }
 
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /**
      * Execute the next event, advancing curTick to its time.
      * @retval false if the queue was empty.
      */
-    bool runOne();
+    bool runOne() { return runCore(1, kMaxTick) != 0; }
 
     /**
      * Run events until the queue drains or @p max_events have executed.
      * @return number of events executed.
      */
-    std::uint64_t run(std::uint64_t max_events = ~0ull);
+    std::uint64_t
+    run(std::uint64_t max_events = kNoEventLimit)
+    {
+        return runCore(max_events, kMaxTick);
+    }
 
     /**
      * Run events with timestamps <= @p until (inclusive); curTick ends at
      * max(executed event times, until).
      * @return number of events executed.
      */
-    std::uint64_t runUntil(Tick until);
+    std::uint64_t
+    runUntil(Tick until)
+    {
+        const std::uint64_t n = runCore(kNoEventLimit, until);
+        if (curTick_ < until)
+            curTick_ = until;
+        return n;
+    }
+
+    // --- pool introspection (tests, self-perf reporting) -------------
+
+    /** Cumulative events executed over this queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Event nodes ever allocated (high-water mark of pending events,
+     *  rounded up to a slab). */
+    std::size_t poolCapacity() const { return poolCapacity_; }
+
+    /** Event nodes currently on the free list. */
+    std::size_t poolFree() const { return poolFreeCount_; }
 
   private:
-    struct Entry
+    /** A pooled event: intrusive FIFO link + inline closure. */
+    struct EventNode
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        EventNode *next = nullptr;
+        Callback fn;
+    };
+
+    /** Later-first comparator over (when, seq) for heap ordering. */
+    struct NodeLater
+    {
+        bool
+        operator()(const EventNode *a, const EventNode *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            return a->seq > b->seq;
+        }
+    };
+
+    /**
+     * Bucket ring size in ticks (power of two). Covers several
+     * round-trip latencies of the modeled machine (per-hop ~8 ticks,
+     * handler occupancies <= a few hundred, disk 12000); events
+     * farther out (watchdogs, fault sweeps) take the overflow heap and
+     * migrate into the ring when the calendar reaches them.
+     */
+    static constexpr std::size_t kBuckets = 1 << 14;
+    static constexpr std::size_t kBucketMask = kBuckets - 1;
+    static constexpr std::size_t kOccWords = kBuckets / 64;
+    static constexpr std::size_t kSlabNodes = 256;
+
+    /** Shared run loop: execute events while (when <= until) and fewer
+     *  than @p max_events have run. */
+    std::uint64_t runCore(std::uint64_t max_events, Tick until);
+
+    /** Earliest bucketed event (bucketedCount_ must be non-zero);
+     *  @p bucket_idx_out receives the ring index it was found in. */
+    EventNode *scanBuckets(std::size_t &bucket_idx_out) const;
+
+    void pushBucket(EventNode *n);
+    void migrateOverflow();
+
+    EventNode *allocNode();
+    void freeNode(EventNode *n);
+
+    KernelKind kind_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+    std::size_t size_ = 0;
+
+    // --- calendar state ----------------------------------------------
+    /**
+     * Ring window base: every bucketed event's when is in
+     * [base_, base_ + kBuckets) and every overflow event's when is
+     * >= base_ + kBuckets, so bucketed events always run first. base_
+     * only moves forward, in jumps, when the buckets drain and the
+     * overflow heap supplies the next event.
+     */
+    Tick base_ = 0;
+    std::size_t bucketedCount_ = 0;
+    std::vector<EventNode *> bucketHead_;
+    std::vector<EventNode *> bucketTail_;
+    /** One bit per bucket: non-empty. */
+    std::vector<std::uint64_t> occ_;
+    std::priority_queue<EventNode *, std::vector<EventNode *>, NodeLater>
+        overflow_;
+
+    // --- event-node pool ---------------------------------------------
+    std::vector<std::unique_ptr<EventNode[]>> slabs_;
+    EventNode *freeList_ = nullptr;
+    std::size_t poolCapacity_ = 0;
+    std::size_t poolFreeCount_ = 0;
+
+    // --- reference kernel --------------------------------------------
+    struct RefEntry
     {
         Tick when;
         std::uint64_t seq;
         Callback fn;
     };
 
-    struct Later
+    struct RefLater
     {
         bool
-        operator()(const Entry &a, const Entry &b) const
+        operator()(const RefEntry &a, const RefEntry &b) const
         {
             if (a.when != b.when)
                 return a.when > b.when;
@@ -84,9 +219,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    Tick curTick_ = 0;
-    std::uint64_t nextSeq_ = 0;
+    std::priority_queue<RefEntry, std::vector<RefEntry>, RefLater> heap_;
 };
 
 /**
@@ -107,6 +240,7 @@ class Resource
     acquire(Tick now, Tick occupancy)
     {
         Tick start = freeAt_ > now ? freeAt_ : now;
+        waitTicks_ += start - now;
         freeAt_ = start + occupancy;
         busyTicks_ += occupancy;
         ++acquisitions_;
@@ -119,6 +253,10 @@ class Resource
     /** Total ticks the resource has been reserved for. */
     Tick busyTicks() const { return busyTicks_; }
 
+    /** Contention: total ticks requests waited past their arrival
+     *  (sum over acquires of start - now). */
+    Tick waitTicks() const { return waitTicks_; }
+
     /** Number of acquire() calls. */
     std::uint64_t acquisitions() const { return acquisitions_; }
 
@@ -127,12 +265,14 @@ class Resource
     {
         freeAt_ = 0;
         busyTicks_ = 0;
+        waitTicks_ = 0;
         acquisitions_ = 0;
     }
 
   private:
     Tick freeAt_ = 0;
     Tick busyTicks_ = 0;
+    Tick waitTicks_ = 0;
     std::uint64_t acquisitions_ = 0;
 };
 

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Non-owning callable reference.
+ *
+ * FunctionRef<R(Args...)> is a two-word view of any callable: a pointer
+ * to the callable plus a thunk that invokes it. Passing a lambda to a
+ * FunctionRef parameter never allocates, unlike std::function, which
+ * heap-allocates captures beyond its small-buffer limit. Use it for
+ * visitor parameters (forEach-style walks) where the callee only calls
+ * the function during the call and never stores it.
+ *
+ * Because it does not own the callable, a FunctionRef must not outlive
+ * the callable it refers to; it is unsuitable for members or for
+ * callbacks that run later (use InlineCallback for those).
+ */
+
+#ifndef PIMDSM_SIM_FUNCTION_REF_HH
+#define PIMDSM_SIM_FUNCTION_REF_HH
+
+#include <type_traits>
+#include <utility>
+
+namespace pimdsm
+{
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)>
+{
+  public:
+    FunctionRef() = delete;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                  std::is_invocable_r_v<R, F &, Args...>>>
+    FunctionRef(F &&fn) // NOLINT: implicit by design, like function_ref
+        : obj_(const_cast<void *>(
+              static_cast<const void *>(std::addressof(fn)))),
+          call_(&invoke<std::remove_reference_t<F>>)
+    {
+    }
+
+    R
+    operator()(Args... args) const
+    {
+        return call_(obj_, std::forward<Args>(args)...);
+    }
+
+  private:
+    template <typename F>
+    static R
+    invoke(void *obj, Args... args)
+    {
+        return (*static_cast<F *>(obj))(std::forward<Args>(args)...);
+    }
+
+    void *obj_;
+    R (*call_)(void *, Args...);
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_FUNCTION_REF_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Slab-backed object pool with refcounted handles.
+ *
+ * RefPool<T> hands out RefPool<T>::Ref handles to pooled values. The
+ * hot use is the mesh delivery path: Machine::send parks the Message
+ * in the pool and the scheduled delivery closure captures a 16-byte
+ * Ref instead of a ~80-byte Message copy, keeping the closure well
+ * inside InlineCallback's inline buffer. Handles are copyable
+ * (refcounted) because fault injection can duplicate a delivery, and
+ * releasing the last handle returns the slot to the free list — so a
+ * dropped message (whose closure is destroyed without running) frees
+ * its slot through the Ref destructor, never leaking.
+ *
+ * Slots live in fixed slabs, so a Ref stays valid across later
+ * make() calls (no reallocation, unlike a vector-backed pool).
+ */
+
+#ifndef PIMDSM_SIM_POOL_HH
+#define PIMDSM_SIM_POOL_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace pimdsm
+{
+
+template <typename T>
+class RefPool
+{
+    struct Slot
+    {
+        T value{};
+        std::uint32_t refs = 0;
+        Slot *nextFree = nullptr;
+    };
+
+  public:
+    class Ref
+    {
+      public:
+        Ref() = default;
+
+        Ref(const Ref &o) : pool_(o.pool_), slot_(o.slot_)
+        {
+            if (slot_)
+                ++slot_->refs;
+        }
+
+        Ref(Ref &&o) noexcept : pool_(o.pool_), slot_(o.slot_)
+        {
+            o.slot_ = nullptr;
+        }
+
+        Ref &
+        operator=(const Ref &o)
+        {
+            if (this != &o) {
+                release();
+                pool_ = o.pool_;
+                slot_ = o.slot_;
+                if (slot_)
+                    ++slot_->refs;
+            }
+            return *this;
+        }
+
+        Ref &
+        operator=(Ref &&o) noexcept
+        {
+            if (this != &o) {
+                release();
+                pool_ = o.pool_;
+                slot_ = o.slot_;
+                o.slot_ = nullptr;
+            }
+            return *this;
+        }
+
+        ~Ref() { release(); }
+
+        const T &get() const { return slot_->value; }
+        const T &operator*() const { return slot_->value; }
+        const T *operator->() const { return &slot_->value; }
+
+        explicit operator bool() const { return slot_ != nullptr; }
+
+      private:
+        friend class RefPool;
+        Ref(RefPool *pool, Slot *slot) : pool_(pool), slot_(slot)
+        {
+            ++slot_->refs;
+        }
+
+        void
+        release()
+        {
+            if (slot_ && --slot_->refs == 0)
+                pool_->recycle(slot_);
+            slot_ = nullptr;
+        }
+
+        RefPool *pool_ = nullptr;
+        Slot *slot_ = nullptr;
+    };
+
+    RefPool() = default;
+    RefPool(const RefPool &) = delete;
+    RefPool &operator=(const RefPool &) = delete;
+
+    /** Park @p value in the pool; the slot is freed when the last Ref
+     *  handle to it is destroyed. */
+    Ref
+    make(T value)
+    {
+        if (!freeList_) {
+            slabs_.push_back(std::make_unique<Slot[]>(kSlabSlots));
+            Slot *slab = slabs_.back().get();
+            for (std::size_t i = 0; i < kSlabSlots; ++i) {
+                slab[i].nextFree = freeList_;
+                freeList_ = &slab[i];
+            }
+            capacity_ += kSlabSlots;
+            freeCount_ += kSlabSlots;
+        }
+        Slot *s = freeList_;
+        freeList_ = s->nextFree;
+        --freeCount_;
+        s->value = std::move(value);
+        return Ref(this, s);
+    }
+
+    /** Slots ever allocated (high-water mark rounded to a slab). */
+    std::size_t capacity() const { return capacity_; }
+
+    /** Slots currently free (== capacity when nothing is live). */
+    std::size_t freeSlots() const { return freeCount_; }
+
+    /** Live (referenced) slots. */
+    std::size_t live() const { return capacity_ - freeCount_; }
+
+  private:
+    static constexpr std::size_t kSlabSlots = 64;
+
+    void
+    recycle(Slot *s)
+    {
+        s->value = T{}; // drop payload-held resources promptly
+        s->nextFree = freeList_;
+        freeList_ = s;
+        ++freeCount_;
+    }
+
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    Slot *freeList_ = nullptr;
+    std::size_t capacity_ = 0;
+    std::size_t freeCount_ = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_POOL_HH

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Kernel-overhaul regression tests: calendar queue vs. reference heap
+ * differential execution, event-node and message pool hygiene, flat
+ * hot-path maps, InlineCallback semantics, and whole-machine
+ * determinism across kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "machine/builder.hh"
+#include "machine/machine.hh"
+#include "report/experiment.hh"
+#include "sim/event_queue.hh"
+#include "sim/flat_map.hh"
+#include "sim/inline_callback.hh"
+#include "sim/pool.hh"
+#include "sim/random.hh"
+#include "workload/apps.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Differential: the calendar queue must execute an adversarial mix of
+// near/far/same-tick schedules in exactly the reference heap's order.
+// ---------------------------------------------------------------------
+
+/** One kernel's execution trace for a scripted random schedule. */
+std::vector<std::uint64_t>
+traceKernel(EventQueue::KernelKind kind, std::uint64_t n_events,
+            std::uint64_t seed)
+{
+    EventQueue eq(kind);
+    Rng rng(seed);
+    std::vector<std::uint64_t> trace;
+    trace.reserve(n_events);
+    std::uint64_t scheduled = 0;
+    std::uint64_t id = 0;
+
+    auto delay = [&rng]() -> Tick {
+        const std::uint64_t r = rng.nextBounded(1000);
+        if (r < 300)
+            return 0; // same tick: FIFO order must hold
+        if (r < 800)
+            return 1 + rng.nextBounded(16);
+        if (r < 950)
+            return 20 + rng.nextBounded(500);
+        if (r < 995)
+            return 1000 + rng.nextBounded(30000); // beyond the ring
+        return 100000 + rng.nextBounded(1000000); // deep overflow
+    };
+
+    // Each event logs its id and schedules 0-2 successors, so the
+    // schedule itself depends on execution order: any divergence
+    // cascades instead of hiding.
+    std::function<void(std::uint64_t)> fire =
+        [&](std::uint64_t my_id) {
+            trace.push_back(my_id);
+            const std::uint64_t kids = rng.nextBounded(3);
+            for (std::uint64_t k = 0; k < kids; ++k) {
+                if (scheduled >= n_events)
+                    break;
+                ++scheduled;
+                const std::uint64_t kid_id = id++;
+                eq.scheduleIn(delay(),
+                              [&fire, kid_id] { fire(kid_id); });
+            }
+        };
+
+    for (std::uint64_t i = 0; i < 64 && scheduled < n_events; ++i) {
+        ++scheduled;
+        const std::uint64_t seed_id = id++;
+        eq.schedule(rng.nextBounded(2000),
+                    [&fire, seed_id] { fire(seed_id); });
+    }
+    eq.run();
+    return trace;
+}
+
+TEST(CalendarQueue, MatchesReferenceHeapOnAMillionMixedEvents)
+{
+    const std::uint64_t n = 1'000'000;
+    const auto ref =
+        traceKernel(EventQueue::KernelKind::ReferenceHeap, n, 0xd1ffull);
+    const auto cal =
+        traceKernel(EventQueue::KernelKind::Calendar, n, 0xd1ffull);
+    ASSERT_EQ(ref.size(), cal.size());
+    // EXPECT_EQ on the vectors would print a million elements on
+    // failure; find the first divergence instead.
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(ref[i], cal[i]) << "first divergence at event " << i;
+    }
+}
+
+TEST(CalendarQueue, MatchesReferenceAcrossSeeds)
+{
+    for (std::uint64_t seed : {1ull, 42ull, 0xabcdefull}) {
+        const auto ref = traceKernel(
+            EventQueue::KernelKind::ReferenceHeap, 50'000, seed);
+        const auto cal =
+            traceKernel(EventQueue::KernelKind::Calendar, 50'000, seed);
+        EXPECT_EQ(ref, cal) << "seed " << seed;
+    }
+}
+
+TEST(CalendarQueue, RunUntilThenBackfillBeforeTheWindowBase)
+{
+    // Regression: after runUntil stops short of a far-future event the
+    // ring base can sit ahead of curTick; a new event scheduled below
+    // the base must still run before the far one.
+    EventQueue eq(EventQueue::KernelKind::Calendar);
+    std::vector<int> order;
+    eq.schedule(1'000'000, [&] { order.push_back(2); });
+    eq.runUntil(500);
+    eq.schedule(600, [&] { order.push_back(1); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_EQ(eq.curTick(), 1'000'000u);
+}
+
+// ---------------------------------------------------------------------
+// Pools.
+// ---------------------------------------------------------------------
+
+TEST(EventPool, ReusesNodesInsteadOfGrowing)
+{
+    EventQueue eq(EventQueue::KernelKind::Calendar);
+    // Cycle far more events than ever live at once: capacity must
+    // track the high-water mark, not the total event count.
+    for (int round = 0; round < 1000; ++round) {
+        for (int i = 0; i < 8; ++i)
+            eq.scheduleIn(1 + i, [] {});
+        eq.run();
+    }
+    EXPECT_EQ(eq.executed(), 8000u);
+    EXPECT_LE(eq.poolCapacity(), 512u);
+    // Queue drained: every node is back on the free list.
+    EXPECT_EQ(eq.poolFree(), eq.poolCapacity());
+}
+
+TEST(MessagePool, DrainsAfterRealTransactions)
+{
+    auto wl = makeWorkload("fft", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 4;
+    spec.pressure = 0.25;
+    MachineConfig cfg = buildConfig(*wl, spec);
+    Machine m(cfg);
+    EXPECT_EQ(m.messagePool().live(), 0u);
+
+    // Real protocol traffic: reads and writes from several nodes to
+    // shared lines, drained to quiescence.
+    int completed = 0;
+    for (int i = 0; i < 64; ++i) {
+        const Addr a = 0x100000 + 64 * (i % 8);
+        m.compute(i % 4)->access(a, (i % 3) == 0,
+                                 [&](Tick, ReadService) {
+                                     ++completed;
+                                 });
+        m.eq().runUntil(m.eq().curTick() + 5);
+    }
+    m.eq().run();
+    EXPECT_EQ(completed, 64);
+    EXPECT_GT(m.messagesSent(), 0u);
+    // Quiescent: every message slot must be back on the free list.
+    EXPECT_EQ(m.messagePool().live(), 0u);
+    EXPECT_EQ(m.messagePool().freeSlots(), m.messagePool().capacity());
+}
+
+TEST(MessagePool, RefcountedHandlesRecycleSlots)
+{
+    RefPool<int> pool;
+    auto a = pool.make(7);
+    EXPECT_EQ(pool.live(), 1u);
+    {
+        auto b = a; // shared slot
+        EXPECT_EQ(pool.live(), 1u);
+        EXPECT_EQ(b.get(), 7);
+    }
+    EXPECT_EQ(pool.live(), 1u); // copy released, original holds on
+    const std::size_t cap = pool.capacity();
+    a = {};
+    EXPECT_EQ(pool.live(), 0u);
+    // Recycled, not grown.
+    auto c = pool.make(9);
+    EXPECT_EQ(pool.capacity(), cap);
+    EXPECT_EQ(c.get(), 9);
+}
+
+// ---------------------------------------------------------------------
+// InlineCallback.
+// ---------------------------------------------------------------------
+
+TEST(InlineCallback, SmallLambdasStayInline)
+{
+    int x = 0;
+    InlineCallback cb([&x] { ++x; });
+    EXPECT_TRUE(cb.storedInline());
+    cb();
+    EXPECT_EQ(x, 1);
+}
+
+TEST(InlineCallback, OversizedLambdasFallBackToHeap)
+{
+    struct Big
+    {
+        char pad[256] = {};
+    };
+    Big big;
+    int hits = 0;
+    InlineCallback cb([big, &hits] { hits += sizeof(big) ? 1 : 0; });
+    EXPECT_FALSE(cb.storedInline());
+    InlineCallback copy = cb; // heap fallback stays copyable
+    cb();
+    copy();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, CopyableCapturesSurviveDuplication)
+{
+    // The mesh duplicates delivery closures under fault injection;
+    // copying must deep-preserve the captured state.
+    auto shared = std::make_shared<int>(0);
+    InlineCallback cb([shared] { ++*shared; });
+    InlineCallback dup = cb;
+    cb();
+    dup();
+    EXPECT_EQ(*shared, 2);
+}
+
+// ---------------------------------------------------------------------
+// FlatMap.
+// ---------------------------------------------------------------------
+
+TEST(FlatMap, InsertFindEraseAgainstReference)
+{
+    FlatMap<std::uint64_t, int> fm;
+    std::map<std::uint64_t, int> ref;
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t key = rng.nextBounded(4096) << 6;
+        switch (rng.nextBounded(3)) {
+        case 0:
+            fm[key] = i;
+            ref[key] = i;
+            break;
+        case 1:
+            EXPECT_EQ(fm.erase(key), ref.erase(key));
+            break;
+        default: {
+            auto it = fm.find(key);
+            auto rit = ref.find(key);
+            ASSERT_EQ(it == fm.end(), rit == ref.end());
+            if (it != fm.end()) {
+                EXPECT_EQ(it->second, rit->second);
+            }
+        }
+        }
+    }
+    EXPECT_EQ(fm.size(), ref.size());
+    for (const auto &[k, v] : ref) {
+        auto it = fm.find(k);
+        ASSERT_NE(it, fm.end());
+        EXPECT_EQ(it->second, v);
+    }
+}
+
+TEST(FlatMap, PairKeysWork)
+{
+    FlatMap<std::pair<Addr, NodeId>, int> fm;
+    fm[{0x40, 3}] = 1;
+    fm[{0x40, 4}] = 2;
+    fm[{0x80, 3}] = 3;
+    EXPECT_EQ(fm.size(), 3u);
+    EXPECT_EQ((fm[{0x40, 4}]), 2);
+    EXPECT_EQ((fm.erase({0x40, 3})), 1u);
+    EXPECT_EQ((fm.find({0x40, 3})), fm.end());
+    EXPECT_EQ((fm[{0x80, 3}]), 3);
+}
+
+// ---------------------------------------------------------------------
+// Whole-machine determinism: a full experiment must produce identical
+// stats under either kernel.
+// ---------------------------------------------------------------------
+
+RunResult
+runFig6Point(EventQueue::KernelKind kind)
+{
+    EventQueue::setDefaultKind(kind);
+    auto wl = makeWorkload("fft", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 8;
+    spec.pressure = 0.25;
+    spec.dRatio = 2;
+    RunResult r = runWorkload(*wl, spec);
+    EventQueue::setDefaultKind(EventQueue::KernelKind::Calendar);
+    return r;
+}
+
+TEST(KernelDeterminism, Fig6StatsIdenticalAcrossKernels)
+{
+    const RunResult heap =
+        runFig6Point(EventQueue::KernelKind::ReferenceHeap);
+    const RunResult cal = runFig6Point(EventQueue::KernelKind::Calendar);
+
+    EXPECT_EQ(heap.totalTicks, cal.totalTicks);
+    EXPECT_EQ(heap.messages, cal.messages);
+    EXPECT_EQ(heap.instructions, cal.instructions);
+    EXPECT_EQ(heap.time.total(), cal.time.total());
+    for (int i = 0; i < ReadLatencyStats::kNum; ++i) {
+        EXPECT_EQ(heap.reads.count[i], cal.reads.count[i]) << i;
+        EXPECT_EQ(heap.reads.totalLatency[i], cal.reads.totalLatency[i])
+            << i;
+    }
+    // Every named counter, bitwise.
+    ASSERT_EQ(heap.counters.size(), cal.counters.size());
+    for (const auto &[name, value] : heap.counters) {
+        const auto it = cal.counters.find(name);
+        ASSERT_NE(it, cal.counters.end()) << name;
+        EXPECT_EQ(value, it->second) << name;
+    }
+}
+
+} // namespace
+} // namespace pimdsm

@@ -80,6 +80,34 @@ if [ -n "$hits" ]; then
     complain "printf-family in src/ (use Trace/warn/panic):" "$hits"
 fi
 
+# --- 6. Hot-path container/callback discipline ------------------------
+# The kernel overhaul moved src/sim, src/net, and src/proto hot paths
+# to InlineCallback / FunctionRef / FlatMap. New std::function members
+# and node-based maps reintroduce per-event allocations; use
+# sim/inline_callback.hh (owning), sim/function_ref.hh (borrowing
+# visitor parameters), or sim/flat_map.hh instead. The allowlist
+# covers cold paths: the user-facing completion-callback API, CIM
+# completion plumbing, reconfig-time scratch maps, the sorted stats
+# report, and the spec static analyzer.
+hits=$(find src/sim src/net src/proto -name '*.cc' -o -name '*.hh' |
+       sort |
+       xargs grep -nE 'std::function<|std::map<|std::unordered_map<' \
+           2>/dev/null |
+       grep -vE '^\s*[^:]+:[0-9]+:\s*(//|\*|/\*)' |
+       grep -v 'compute_base.hh:.*CompletionFn' |
+       grep -v 'compute_base.hh:.*std::function<void(Tick)>' |
+       grep -v 'compute_base.hh:.*cimCallbacks_' |
+       grep -v 'compute_base.hh:.*flushDone_' |
+       grep -v 'compute_base.hh:.*flushAll' |
+       grep -v 'compute_base.cc:.*std::function<void(Tick)> cb' |
+       grep -v 'compute_base.cc:.*flushAll' |
+       grep -v 'agg_dnode.cc:.*page_heat' |
+       grep -v 'stats.hh:.*std::map<std::string, double>' |
+       grep -v 'spec_check.cc:.*std::function<bool(int)> dfs')
+if [ -n "$hits" ]; then
+    complain "std::function / node-based map in a hot path (use sim/inline_callback.hh, sim/function_ref.hh, or sim/flat_map.hh):" "$hits"
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "lint: FAILED" >&2
     exit 1
