@@ -1,9 +1,13 @@
 /**
  * @file
- * Fault campaign: sweep mesh drop-rate x mid-run D-node failover over
- * the paper workloads on AGG, reporting completion, retry work, and
- * slowdown versus the fault-free run. Also demonstrates the watchdog:
- * a 100% loss plan ends in a diagnostic panic, not a hang.
+ * Fault campaign: sweep the fault domains over the paper workloads on
+ * AGG — lossy mesh, mid-run D-node and P-node fail-stop deaths, a
+ * permanent link death (detour routing), and a timed partition that
+ * heals (blocked messages queue and drain) — reporting completion,
+ * retry work, and slowdown versus the fault-free run. Also
+ * demonstrates the watchdog: a 100% loss plan ends in a structured
+ * diagnostic panic, not a hang, and the stuck-transaction list is
+ * serialized into the failure row.
  *
  * Emits BENCH_faults.json (one row per scenario) next to the table.
  */
@@ -12,6 +16,7 @@
 
 #include <fstream>
 
+#include "proto/stuck.hh"
 #include "sim/log.hh"
 
 using namespace pimdsm;
@@ -23,10 +28,15 @@ namespace
 struct Scenario
 {
     std::string app;
+    /** clean | drop | dnode_death | pnode_death | link_death |
+     *  partition | wedge */
+    std::string kind;
     double drop = 0.0;
-    bool death = false;
     bool completed = false;
     std::string failure;
+    /** Structured watchdog capture (failure rows only). */
+    std::vector<StuckTxn> stuck;
+    std::size_t partitionBlocked = 0;
     RunResult result;
 };
 
@@ -38,13 +48,13 @@ counter(const RunResult &r, const std::string &name)
 }
 
 Scenario
-runScenario(const std::string &app, double drop, bool death,
-            Tick death_tick)
+runScenario(const std::string &app, const std::string &kind,
+            double drop, Tick fault_tick)
 {
     Scenario s;
     s.app = app;
+    s.kind = kind;
     s.drop = drop;
-    s.death = death;
 
     auto wl = makeWorkload(app, 1);
     BuildSpec spec;
@@ -53,19 +63,43 @@ runScenario(const std::string &app, double drop, bool death,
     spec.pressure = 0.25;
     spec.dRatio = 2; // >= 2 D-nodes, so one can die
     MachineConfig cfg = buildConfig(*wl, spec);
-    cfg.faults.setUniformDropRate(drop);
     cfg.faults.seed = 0x5eedull;
-    if (death) {
+    if (kind == "drop" || kind == "wedge") {
+        cfg.faults.setUniformDropRate(drop);
+    } else if (kind == "dnode_death") {
         cfg.faults.deaths.push_back(
-            DNodeDeath{death_tick, static_cast<NodeId>(cfg.numPNodes)});
+            DNodeDeath{fault_tick, static_cast<NodeId>(cfg.numPNodes)});
+    } else if (kind == "pnode_death") {
+        cfg.faults.pnodeDeaths.push_back(PNodeDeath{fault_tick, 1});
+    } else if (kind == "link_death") {
+        // One permanent east-link death in the corner: the mesh stays
+        // connected and every affected route detours.
+        cfg.faults.linkDeaths.push_back(LinkDeath{fault_tick, 0, 0, 0});
+    } else if (kind == "partition") {
+        // Full vertical cut between columns 0 and 1; heals after an
+        // equal interval, so queued messages drain and the run
+        // completes.
+        Partition part;
+        part.tick = fault_tick;
+        part.healTick = fault_tick * 2;
+        for (int y = 0; y < cfg.net.meshY; ++y)
+            part.cut.push_back(LinkRef{0, y, 0});
+        cfg.faults.partitions.push_back(part);
     }
+    cfg.validate();
 
     warnResetForTest();
     try {
         s.result = runWorkload(cfg, *wl);
         s.completed = true;
+    } catch (const WatchdogError &e) {
+        // Keep the first line as the headline and the structured
+        // stuck list as evidence.
+        std::string what = e.what();
+        s.failure = what.substr(0, what.find('\n'));
+        s.stuck = e.stuck;
+        s.partitionBlocked = e.partitionBlocked;
     } catch (const PanicError &e) {
-        // Keep the first line of the watchdog diagnostic as evidence.
         std::string what = e.what();
         s.failure = what.substr(0, what.find('\n'));
     }
@@ -85,15 +119,34 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+void
+writeStuckJson(std::ostream &os, const std::vector<StuckTxn> &stuck)
+{
+    os << ", \"stuck\": [";
+    for (std::size_t i = 0; i < stuck.size(); ++i) {
+        const StuckTxn &t = stuck[i];
+        os << (i ? ", " : "") << "{\"kind\": \"" << t.kind
+           << "\", \"node\": " << t.node << ", \"line\": " << t.line
+           << ", \"state\": \"" << t.state
+           << "\", \"retries\": " << t.retries
+           << ", \"acks_expected\": " << t.acksExpected
+           << ", \"acks_received\": " << t.acksReceived
+           << ", \"issue_tick\": " << t.issueTick
+           << ", \"last_progress_tick\": " << t.lastProgressTick
+           << "}";
+    }
+    os << "]";
+}
+
 } // namespace
 
 int
 main()
 {
-    banner("Fault campaign: lossy mesh + D-node failover (AGG)",
-           "retries recover <=5% loss with modest slowdown; a dead "
-           "D-node fails over onto the survivors; total loss trips "
-           "the watchdog");
+    banner("Fault campaign: fault domains on AGG",
+           "retries recover <=5% loss; dead D-/P-nodes fail over onto "
+           "survivors; a dead link detours; a healed partition drains; "
+           "total loss trips the structured watchdog");
 
     const std::vector<double> drops = {0.0, 0.01, 0.05};
     std::vector<Scenario> rows;
@@ -101,27 +154,39 @@ main()
     for (const std::string &app : benchApps()) {
         Tick clean_ticks = 0;
         for (double drop : drops) {
-            rows.push_back(runScenario(app, drop, false, 0));
+            rows.push_back(runScenario(
+                app, drop == 0.0 ? "clean" : "drop", drop, 0));
             if (drop == 0.0)
                 clean_ticks = rows.back().result.totalTicks;
         }
-        // Mid-run death of the first D-node, halfway into the clean
-        // run's schedule.
-        rows.push_back(runScenario(app, 0.0, true, clean_ticks / 2));
+        // Structural campaigns, anchored to the clean run's schedule:
+        // deaths halfway in, the partition cut over the middle third.
+        rows.push_back(
+            runScenario(app, "dnode_death", 0.0, clean_ticks / 2));
+        rows.push_back(
+            runScenario(app, "pnode_death", 0.0, clean_ticks / 2));
+        rows.push_back(
+            runScenario(app, "link_death", 0.0, clean_ticks / 2));
+        rows.push_back(
+            runScenario(app, "partition", 0.0, clean_ticks / 3));
     }
     // Watchdog demonstration: nothing gets through, the machine must
     // diagnose rather than hang.
-    rows.push_back(runScenario(benchApps().front(), 1.0, false, 0));
+    rows.push_back(runScenario(benchApps().front(), "wedge", 1.0, 0));
 
-    TablePrinter t({"app", "drop", "death", "completed", "Mcycles",
-                    "slowdown", "retries", "net drops", "failover"});
+    TablePrinter t({"app", "scenario", "completed", "Mcycles",
+                    "slowdown", "retries", "blocked", "failover"});
     std::map<std::string, double> clean;
     for (const Scenario &s : rows) {
-        if (s.drop == 0.0 && !s.death && s.completed)
+        if (s.kind == "clean" && s.completed)
             clean[s.app] = static_cast<double>(s.result.totalTicks);
         const double base = clean.count(s.app) ? clean[s.app] : 0.0;
-        t.addRow({s.app, TablePrinter::num(s.drop),
-                  s.death ? "yes" : "no",
+        const Tick fo_ticks =
+            s.result.failoverTicks + s.result.pnodeFailoverTicks;
+        t.addRow({s.app,
+                  s.kind == "drop"
+                      ? "drop " + TablePrinter::num(s.drop)
+                      : s.kind,
                   s.completed ? "yes" : s.failure.substr(0, 24),
                   s.completed
                       ? TablePrinter::num(s.result.totalTicks / 1e6)
@@ -130,10 +195,10 @@ main()
                       ? TablePrinter::num(s.result.totalTicks / base)
                       : "-",
                   TablePrinter::num(counter(s.result, "fault.retries")),
-                  TablePrinter::num(counter(s.result, "fault.net.drop")),
-                  s.completed && s.death
-                      ? TablePrinter::num(s.result.failoverTicks / 1e6) +
-                            " Mcyc"
+                  TablePrinter::num(
+                      counter(s.result, "fault.net.partition_blocked")),
+                  s.completed && fo_ticks > 0
+                      ? TablePrinter::num(fo_ticks / 1e6) + " Mcyc"
                       : "-"});
     }
     t.print(std::cout);
@@ -143,10 +208,9 @@ main()
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Scenario &s = rows[i];
         const double base = clean.count(s.app) ? clean[s.app] : 0.0;
-        js << "  {\"app\": \"" << s.app << "\", \"drop_rate\": "
-           << s.drop << ", \"dnode_death\": "
-           << (s.death ? "true" : "false") << ", \"completed\": "
-           << (s.completed ? "true" : "false");
+        js << "  {\"app\": \"" << s.app << "\", \"scenario\": \""
+           << s.kind << "\", \"drop_rate\": " << s.drop
+           << ", \"completed\": " << (s.completed ? "true" : "false");
         if (s.completed) {
             js << ", \"total_ticks\": " << s.result.totalTicks
                << ", \"slowdown\": "
@@ -155,10 +219,19 @@ main()
                << counter(s.result, "fault.retries")
                << ", \"net_drops\": "
                << counter(s.result, "fault.net.drop")
+               << ", \"link_deaths\": "
+               << counter(s.result, "fault.net.link_deaths")
+               << ", \"partition_blocked\": "
+               << counter(s.result, "fault.net.partition_blocked")
                << ", \"failovers\": " << s.result.failovers
-               << ", \"failover_ticks\": " << s.result.failoverTicks;
+               << ", \"failover_ticks\": " << s.result.failoverTicks
+               << ", \"pnode_failovers\": " << s.result.pnodeFailovers
+               << ", \"pnode_failover_ticks\": "
+               << s.result.pnodeFailoverTicks;
         } else {
-            js << ", \"failure\": \"" << jsonEscape(s.failure) << "\"";
+            js << ", \"failure\": \"" << jsonEscape(s.failure)
+               << "\", \"partition_blocked\": " << s.partitionBlocked;
+            writeStuckJson(js, s.stuck);
         }
         js << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }

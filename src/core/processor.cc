@@ -110,6 +110,23 @@ Processor::onLoadComplete(std::uint64_t id)
 }
 
 void
+Processor::abort()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+    wait_ = Wait::None;
+    stream_.reset();
+    loads_.clear();
+    hasPendingOp_ = false;
+    // Stores still queued in the write buffer are lost with the node;
+    // step() short-circuits on finished_, so a late scheduled step or
+    // completion callback is a no-op.
+    if (onDone_)
+        onDone_();
+}
+
+void
 Processor::maybeFinish()
 {
     if (wait_ != Wait::EndDrain)

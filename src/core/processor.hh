@@ -43,6 +43,14 @@ class Processor
 
     bool finished() const { return finished_; }
 
+    /**
+     * Fail-stop abort (the node under this processor died): drop the
+     * remaining stream, outstanding loads, and buffered stores, and
+     * fire on_done so the phase's completion count still converges.
+     * Late completion callbacks from in-flight accesses are absorbed.
+     */
+    void abort();
+
     const TimeBreakdown &time() const { return time_; }
     std::uint64_t instructions() const { return instrCount_; }
     std::uint64_t loadsIssued() const { return loadsIssued_; }

@@ -17,18 +17,22 @@ SyncManager::arriveBarrier(Addr addr, ComputeBase &port,
         b.waiters.emplace_back(&port, resume);
         if (++b.arrived < numThreads_)
             return;
-
-        // Last arrival: release. Each waiter re-reads the barrier
-        // line (invalidation storm + refetch, like real spinning).
-        ++barrierEpisodes_;
-        auto waiters = std::move(b.waiters);
-        b.arrived = 0;
-        b.waiters.clear();
-        for (auto &[p, cb] : waiters) {
-            p->access(addr, false,
-                      [cb = cb](Tick, ReadService) { cb(); });
-        }
+        releaseBarrier(addr, b);
     });
+}
+
+void
+SyncManager::releaseBarrier(Addr addr, Barrier &b)
+{
+    // Each waiter re-reads the barrier line (invalidation storm +
+    // refetch, like real spinning).
+    ++barrierEpisodes_;
+    auto waiters = std::move(b.waiters);
+    b.arrived = 0;
+    b.waiters.clear();
+    for (auto &[p, cb] : waiters) {
+        p->access(addr, false, [cb = cb](Tick, ReadService) { cb(); });
+    }
 }
 
 void
@@ -42,6 +46,7 @@ SyncManager::acquireLock(Addr addr, ComputeBase &port,
         Lock &l = locks_[addr];
         if (!l.held) {
             l.held = true;
+            l.holder = &port;
             resume();
         } else {
             l.waiters.emplace_back(&port, std::move(resume));
@@ -58,16 +63,65 @@ SyncManager::releaseLock(Addr addr, ComputeBase &port)
             panic("releasing a lock that is not held");
         if (l.waiters.empty()) {
             l.held = false;
+            l.holder = nullptr;
             return;
         }
         ++lockHandoffs_;
         auto [p, cb] = std::move(l.waiters.front());
         l.waiters.pop_front();
+        l.holder = p;
         // The next holder re-reads the lock line before entering.
         p->access(addr, false, [cb = std::move(cb)](Tick, ReadService) {
             cb();
         });
     });
+}
+
+void
+SyncManager::threadDied(ComputeBase *port)
+{
+    if (numThreads_ > 0)
+        --numThreads_;
+
+    for (auto &[addr, b] : barriers_) {
+        for (auto it = b.waiters.begin(); it != b.waiters.end();) {
+            if (it->first == port) {
+                it = b.waiters.erase(it);
+                --b.arrived;
+            } else {
+                ++it;
+            }
+        }
+        // The death may have been the missing arrival.
+        if (b.arrived > 0 && b.arrived >= numThreads_)
+            releaseBarrier(addr, b);
+    }
+
+    for (auto &[addr, l] : locks_) {
+        for (auto it = l.waiters.begin(); it != l.waiters.end();) {
+            if (it->first == port)
+                it = l.waiters.erase(it);
+            else
+                ++it;
+        }
+        if (l.held && l.holder == port) {
+            // Dead holder: hand off immediately (modeling the OS
+            // breaking the lock) so survivors are not wedged.
+            if (l.waiters.empty()) {
+                l.held = false;
+                l.holder = nullptr;
+            } else {
+                ++lockHandoffs_;
+                auto [p, cb] = std::move(l.waiters.front());
+                l.waiters.pop_front();
+                l.holder = p;
+                p->access(addr, false,
+                          [cb = std::move(cb)](Tick, ReadService) {
+                              cb();
+                          });
+            }
+        }
+    }
 }
 
 } // namespace pimdsm

@@ -45,6 +45,14 @@ class SyncManager
     /** Release the lock at @p addr, handing it to the next waiter. */
     void releaseLock(Addr addr, ComputeBase &port);
 
+    /**
+     * The thread running on @p port died fail-stop: shrink the thread
+     * count, drop its pending barrier arrivals and lock waits, release
+     * any barrier the death completed, and hand off any lock it held so
+     * the survivors are not wedged behind a dead holder.
+     */
+    void threadDied(ComputeBase *port);
+
     std::uint64_t barrierEpisodes() const { return barrierEpisodes_; }
     std::uint64_t lockHandoffs() const { return lockHandoffs_; }
 
@@ -59,9 +67,13 @@ class SyncManager
     struct Lock
     {
         bool held = false;
+        ComputeBase *holder = nullptr;
         std::deque<std::pair<ComputeBase *, std::function<void()>>>
             waiters;
     };
+
+    /** Release every waiter of @p b (invalidation storm + refetch). */
+    void releaseBarrier(Addr addr, Barrier &b);
 
     int numThreads_;
     std::unordered_map<Addr, Barrier> barriers_;

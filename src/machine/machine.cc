@@ -22,6 +22,7 @@ Machine::Machine(const MachineConfig &cfg)
     faults_.init(cfg_.faults, &stats_);
     if (faults_.active())
         mesh_.setFaultPlan(&faults_);
+    mesh_.setStats(&stats_);
     oracle_.init(cfg_.check, cfg_.faults.enabled(), &stats_);
 
     if (cfg_.arch == ArchKind::Agg)
@@ -299,26 +300,26 @@ std::string
 Machine::stuckDiagnostic() const
 {
     std::ostringstream os;
-    for (NodeId n = 0; n < totalNodes(); ++n) {
-        if (computes_[n]) {
-            const std::string d = computes_[n]->describeOutstanding();
-            if (!d.empty())
-                os << d;
-        }
-        if (homes_[n]) {
-            homes_[n]->directory().forEach(
-                [&](Addr a, const DirEntry &e) {
-                    if (!e.busy && e.pending.empty())
-                        return;
-                    os << "  home " << n << (isDead(n) ? " (dead)" : "")
-                       << ": line 0x" << std::hex << a << std::dec
-                       << " busy=" << e.busy
-                       << " pending=" << e.pending.size()
-                       << " owner=" << e.owner << "\n";
-                });
-        }
+    os << stuckReport(collectStuck());
+    if (mesh_.partitionBlocked() > 0) {
+        os << "  " << mesh_.partitionBlocked()
+           << " message(s) queued against an unroutable partition ("
+           << mesh_.deadLinkCount() << " dead links)\n";
     }
     return os.str();
+}
+
+std::vector<StuckTxn>
+Machine::collectStuck() const
+{
+    std::vector<StuckTxn> stuck;
+    for (NodeId n = 0; n < totalNodes(); ++n) {
+        if (computes_[n])
+            computes_[n]->collectStuck(stuck);
+        if (homes_[n])
+            homes_[n]->collectStuck(stuck);
+    }
+    return stuck;
 }
 
 void

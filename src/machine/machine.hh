@@ -60,6 +60,7 @@ class Machine : public ProtoContext
     {
         return oracle_.enabled() ? &oracle_ : nullptr;
     }
+    bool nodeDead(NodeId n) const override { return isDead(n); }
 
     // --- topology ---
     int totalNodes() const { return static_cast<int>(roles_.size()); }
@@ -154,6 +155,9 @@ class Machine : public ProtoContext
     /** Watchdog diagnostic: every stuck transaction by node and line
      *  (compute MSHRs/writebacks + busy home lines). */
     std::string stuckDiagnostic() const;
+
+    /** Structured form of stuckDiagnostic (see proto/stuck.hh). */
+    std::vector<StuckTxn> collectStuck() const;
 
     std::uint64_t messagesSent() const { return mesh_.messagesSent(); }
 

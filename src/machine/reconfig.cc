@@ -152,6 +152,7 @@ failOverDNode(Machine &m, NodeId dead)
             ++res.pendingDropped;
         res.pendingDropped += e.pending.size();
         e.busy = false;
+        e.busyFor = kInvalidNode;
         e.pending.clear();
         if (e.homeHasData) {
             e.homeHasData = false;
@@ -192,6 +193,91 @@ failOverDNode(Machine &m, NodeId dead)
                   static_cast<double>(res.linesLost));
     m.stats().add("fault.failover_pending_dropped",
                   static_cast<double>(res.pendingDropped));
+    return res;
+}
+
+PNodeFailoverResult
+failOverPNode(Machine &m, NodeId dead)
+{
+    const MachineConfig &cfg = m.config();
+    if (cfg.arch != ArchKind::Agg)
+        fatal("P-node failover requires an AGG machine");
+    if (dead < 0 || dead >= m.totalNodes() ||
+        m.role(dead) != NodeRole::Compute)
+        fatal("failOverPNode: not a compute node");
+    if (m.isDead(dead))
+        fatal("failOverPNode: node already dead");
+
+    PNodeFailoverResult res;
+
+    // 1. The chip's controllers stop: capture the cache and write
+    //    buffer contents for salvage, then go fail-stop.
+    auto lines = m.compute(dead)->wipeForDeath();
+    m.markDead(dead);
+
+    // 2. Every surviving directory scrubs the dead node out. The
+    //    re-serve of queues the aborts released is deferred until the
+    //    salvage below has landed: serving earlier could forward a
+    //    read at the dead owner and re-busy the line.
+    std::vector<std::pair<NodeId, std::vector<Addr>>> unblocked;
+    for (NodeId n = 0; n < m.totalNodes(); ++n) {
+        if (n == dead || !m.home(n) || m.isDead(n))
+            continue;
+        std::vector<Addr> released;
+        m.home(n)->abortNode(dead, &released);
+        res.txnsAborted += released.size();
+        if (!released.empty())
+            unblocked.emplace_back(n, std::move(released));
+    }
+
+    // 3. Salvage: the dead chip's DRAM outlives its processor long
+    //    enough for the OS to read the owned lines back over the mesh
+    //    (modeled functionally at their exact committed versions, so
+    //    no write is lost).
+    for (auto &[line, st, v] : lines) {
+        const NodeId home = m.pageMap().homeOf(line);
+        if (home == kInvalidNode || m.isDead(home))
+            continue;
+        m.home(home)->functionalWriteBack(line, dead, v);
+        if (cohOwned(st))
+            ++res.linesSalvaged;
+    }
+
+    // 4. Anything still recording the dead node as owner had no
+    //    salvageable copy left: fall back to the disk backing store.
+    for (NodeId n = 0; n < m.totalNodes(); ++n) {
+        if (n == dead || !m.home(n) || m.isDead(n))
+            continue;
+        res.linesLost += m.home(n)->reclaimDeadOwner(dead);
+    }
+
+    // 5. Now re-serve the queues the aborts released.
+    for (auto &[n, released] : unblocked) {
+        for (Addr line : released)
+            m.home(n)->drainQueued(line);
+    }
+
+    // Overhead: base OS decision cost plus a per-line charge for the
+    // salvage reads, spread over the surviving directory engines (they
+    // absorb the salvage traffic).
+    const ReconfigCosts &rc = cfg.reconfig;
+    res.cost = rc.baseCost + rc.perLineCost * res.linesSalvaged;
+    const auto survivors = m.directoryNodes();
+    if (!survivors.empty()) {
+        const Tick now = m.eq().curTick();
+        const Tick share =
+            res.cost / static_cast<Tick>(survivors.size()) + 1;
+        for (NodeId s : survivors)
+            m.home(s)->engine().acquire(now, share);
+    }
+
+    m.stats().add("fault.pnode_failovers");
+    m.stats().add("fault.pnode_lines_salvaged",
+                  static_cast<double>(res.linesSalvaged));
+    m.stats().add("fault.pnode_lines_lost",
+                  static_cast<double>(res.linesLost));
+    m.stats().add("fault.pnode_txns_aborted",
+                  static_cast<double>(res.txnsAborted));
     return res;
 }
 

@@ -65,6 +65,30 @@ struct FailoverResult
  */
 FailoverResult failOverDNode(Machine &m, NodeId dead);
 
+struct PNodeFailoverResult
+{
+    Tick cost = 0;
+    /** Owned lines the OS salvaged out of the dead chip's DRAM. */
+    std::uint64_t linesSalvaged = 0;
+    /** Lines whose only copy died unsalvaged (paged-out fallback). */
+    std::uint64_t linesLost = 0;
+    /** Home transactions administratively aborted. */
+    std::uint64_t txnsAborted = 0;
+};
+
+/**
+ * Fail-stop @p dead (an AGG P-node, currently role Compute). The dead
+ * processor's caches and write buffer die with the chip, but its DRAM
+ * survives long enough for the OS to salvage the owned lines over the
+ * mesh (modeled functionally: exact versions land at their homes).
+ * Every directory administratively finishes transactions blocked on
+ * the dead requester, reclaims its ownership, and drops it from
+ * sharer sets. The caller is responsible for aborting the processor
+ * thread (Processor::abort) and shrinking the sync population
+ * (SyncManager::threadDied).
+ */
+PNodeFailoverResult failOverPNode(Machine &m, NodeId dead);
+
 /**
  * Revive a previously-failed node as @p role (machine must be
  * quiescent). The chip comes back empty: its directory/compute state

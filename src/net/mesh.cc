@@ -3,9 +3,20 @@
 #include <cstdlib>
 
 #include "sim/log.hh"
+#include "sim/stats.hh"
 
 namespace pimdsm
 {
+
+namespace
+{
+
+/** Unit step of direction dir (0=E, 1=W, 2=N, 3=S). */
+constexpr int kDirDx[4] = {1, -1, 0, 0};
+constexpr int kDirDy[4] = {0, 0, 1, -1};
+constexpr int kDirOpp[4] = {1, 0, 3, 2};
+
+} // namespace
 
 Mesh::Mesh(EventQueue &eq, const NetParams &params, int num_nodes)
     : eq_(eq), params_(params), numNodes_(num_nodes)
@@ -17,6 +28,7 @@ Mesh::Mesh(EventQueue &eq, const NetParams &params, int num_nodes)
     links_.resize(static_cast<std::size_t>(params_.meshX) *
                   params_.meshY * 4);
     linkDrops_.assign(links_.size(), 0);
+    linkAlive_.assign(links_.size(), 1);
 }
 
 Resource &
@@ -66,6 +78,25 @@ Mesh::walkPath(NodeId src, NodeId dst,
     int y = nodeY(src);
     const int dx = nodeX(dst);
     const int dy = nodeY(dst);
+    if (deadLinks_ > 0) {
+        // Degraded mode: follow the detour table. The fault-free path
+        // below is untouched so clean runs stay bit-identical.
+        const int R = params_.meshX * params_.meshY;
+        const int dslot = dy * params_.meshX + dx;
+        int cur = y * params_.meshX + x;
+        while (cur != dslot) {
+            const int dir =
+                routeDir_[static_cast<std::size_t>(cur) * R + dslot];
+            if (dir < 0)
+                panic("mesh walkPath across an unroutable partition "
+                      "(caller skipped the routable() check)");
+            per_hop(x, y, dir);
+            x += kDirDx[dir];
+            y += kDirDy[dir];
+            cur = y * params_.meshX + x;
+        }
+        return;
+    }
     while (x != dx) {
         const int dir = dx > x ? 0 : 1; // E : W
         per_hop(x, y, dir);
@@ -75,6 +106,120 @@ Mesh::walkPath(NodeId src, NodeId dst,
         const int dir = dy > y ? 2 : 3; // N : S
         per_hop(x, y, dir);
         y += dy > y ? 1 : -1;
+    }
+}
+
+bool
+Mesh::linkAlive(int x, int y, int dir) const
+{
+    return linkAlive_[linkIndex(x, y, dir)] != 0;
+}
+
+void
+Mesh::setLinkAlive(int x, int y, int dir, bool alive)
+{
+    if (x < 0 || x >= params_.meshX || y < 0 || y >= params_.meshY ||
+        dir < 0 || dir > 3)
+        fatal("setLinkAlive: no such router/direction");
+    const int nx = x + kDirDx[dir];
+    const int ny = y + kDirDy[dir];
+    if (nx < 0 || nx >= params_.meshX || ny < 0 || ny >= params_.meshY)
+        fatal("setLinkAlive: link points off the mesh edge");
+
+    // The physical channel carries both directed links.
+    const std::size_t fwd = linkIndex(x, y, dir);
+    const std::size_t rev = linkIndex(nx, ny, kDirOpp[dir]);
+    const char v = alive ? 1 : 0;
+    bool changed = false;
+    for (const std::size_t li : {fwd, rev}) {
+        if (linkAlive_[li] == v)
+            continue;
+        linkAlive_[li] = v;
+        deadLinks_ += alive ? -1 : 1;
+        changed = true;
+    }
+    if (!changed)
+        return;
+
+    recomputeRoutes();
+    if (stats_)
+        stats_->add(alive ? "fault.net.link_heals"
+                          : "fault.net.link_deaths");
+    if (alive && !blocked_.empty())
+        drainBlocked();
+}
+
+void
+Mesh::recomputeRoutes()
+{
+    const int R = params_.meshX * params_.meshY;
+    if (deadLinks_ == 0) {
+        routeDir_.clear();
+        return;
+    }
+    routeDir_.assign(static_cast<std::size_t>(R) * R, -1);
+
+    // One BFS per destination, walking live links in reverse: when the
+    // frontier reaches router v over the link v->u, v's first hop
+    // toward the destination is that link. Fixed E/W/N/S expansion
+    // order + FIFO frontier keeps the table deterministic.
+    std::vector<int> frontier;
+    frontier.reserve(R);
+    for (int dslot = 0; dslot < R; ++dslot) {
+        auto *row_base = &routeDir_[0];
+        frontier.clear();
+        frontier.push_back(dslot);
+        row_base[static_cast<std::size_t>(dslot) * R + dslot] = -2;
+        for (std::size_t qi = 0; qi < frontier.size(); ++qi) {
+            const int u = frontier[qi];
+            const int ux = u % params_.meshX;
+            const int uy = u / params_.meshX;
+            for (int dir = 0; dir < 4; ++dir) {
+                // The neighbor that would *enter* u via `dir` sits in
+                // the opposite direction and uses link (v, dir).
+                const int vx = ux + kDirDx[kDirOpp[dir]];
+                const int vy = uy + kDirDy[kDirOpp[dir]];
+                if (vx < 0 || vx >= params_.meshX || vy < 0 ||
+                    vy >= params_.meshY)
+                    continue;
+                if (!linkAlive_[linkIndex(vx, vy, dir)])
+                    continue;
+                const int v = vy * params_.meshX + vx;
+                auto &slot =
+                    row_base[static_cast<std::size_t>(v) * R + dslot];
+                if (slot != -1)
+                    continue;
+                slot = static_cast<std::int8_t>(dir);
+                frontier.push_back(v);
+            }
+        }
+    }
+}
+
+bool
+Mesh::routable(NodeId src, NodeId dst) const
+{
+    if (deadLinks_ == 0 || src == dst)
+        return true;
+    const int R = params_.meshX * params_.meshY;
+    const std::size_t s = static_cast<std::size_t>(slotOf(src));
+    return routeDir_[s * R + slotOf(dst)] != -1;
+}
+
+void
+Mesh::drainBlocked()
+{
+    // Swap the queue out so still-unroutable messages re-enqueue
+    // cleanly; FIFO order keeps the replay deterministic.
+    std::deque<BlockedMsg> pend;
+    pend.swap(blocked_);
+    while (!pend.empty()) {
+        BlockedMsg b = std::move(pend.front());
+        pend.pop_front();
+        if (stats_ && routable(b.src, b.dst))
+            stats_->add("fault.net.partition_drained");
+        send(b.src, b.dst, b.payloadBytes, std::move(b.deliver),
+             b.cls);
     }
 }
 
@@ -115,6 +260,18 @@ Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver,
               " (mesh has " + std::to_string(numNodes_) + " nodes, " +
               std::to_string(payload_bytes) + "-byte " +
               msgClassName(cls) + " message)");
+
+    if (deadLinks_ > 0 && src != dst && !routable(src, dst)) {
+        // True partition: park the message against the cut. It drains
+        // (and only then pays latency and faults) when a heal makes
+        // the destination reachable again.
+        blocked_.push_back(BlockedMsg{src, dst, payload_bytes,
+                                      std::move(deliver), cls});
+        ++partitionBlockedTotal_;
+        if (stats_)
+            stats_->add("fault.net.partition_blocked");
+        return eq_.curTick();
+    }
 
     FaultDecision fd;
     if (faults_ && faults_->active() && cls != MsgClass::Immune &&

@@ -15,6 +15,7 @@
 #define PIMDSM_NET_MESH_HH
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "sim/config.hh"
@@ -26,6 +27,8 @@
 
 namespace pimdsm
 {
+
+class StatSet;
 
 class Mesh
 {
@@ -60,6 +63,43 @@ class Mesh
 
     /** Attach the machine's fault plan (nullptr detaches). */
     void setFaultPlan(FaultPlan *plan) { faults_ = plan; }
+
+    /** Attach a StatSet for link/partition fault accounting. */
+    void setStats(StatSet *stats) { stats_ = stats; }
+
+    /**
+     * Kill or revive the physical channel between router (x, y) and
+     * its @p dir neighbor. Both directed links go down together (a
+     * link fault severs the whole channel). Killing a link switches
+     * routing to a detour table recomputed over the live links;
+     * reviving one recomputes the table and drains any messages that
+     * were queued against an unroutable partition (they re-enter the
+     * network at the heal tick, in FIFO order). Messages already in
+     * flight over the channel are unaffected: the wormhole already
+     * charged its links and the scheduled delivery stands.
+     */
+    void setLinkAlive(int x, int y, int dir, bool alive);
+
+    /** True iff the directed link leaving (x, y) toward @p dir is up. */
+    bool linkAlive(int x, int y, int dir) const;
+
+    /** Number of dead directed links. */
+    int deadLinkCount() const { return deadLinks_; }
+
+    /** True iff any link is dead (detour routing active). */
+    bool degraded() const { return deadLinks_ > 0; }
+
+    /** True iff a live route exists from @p src to @p dst. */
+    bool routable(NodeId src, NodeId dst) const;
+
+    /** Messages currently queued against an unroutable partition. */
+    std::size_t partitionBlocked() const { return blocked_.size(); }
+
+    /** Lifetime count of messages that hit an unroutable partition. */
+    std::uint64_t partitionBlockedTotal() const
+    {
+        return partitionBlockedTotal_;
+    }
 
     /** Messages dropped on the directed link leaving (x, y) toward
      *  @p dir (0=E,1=W,2=N,3=S). */
@@ -119,11 +159,30 @@ class Mesh
     int nodeY(NodeId n) const { return slotOf(n) / params_.meshX; }
 
     /**
-     * Walk the XY path from src to dst, invoking @p per_hop for each
-     * directed link as (x, y, dir) of the link's source router.
+     * Walk the path from src to dst, invoking @p per_hop for each
+     * directed link as (x, y, dir) of the link's source router. With
+     * every link alive this is the XY path; in degraded mode it
+     * follows the detour table (caller must have checked routable()).
      */
     void walkPath(NodeId src, NodeId dst,
                   FunctionRef<void(int, int, int)> per_hop) const;
+
+    /** A message queued against an unroutable partition. */
+    struct BlockedMsg
+    {
+        NodeId src;
+        NodeId dst;
+        int payloadBytes;
+        DeliverFn deliver;
+        MsgClass cls;
+    };
+
+    /** Recompute the per-destination next-hop detour table (BFS over
+     *  live links, deterministic E/W/N/S tie-break). */
+    void recomputeRoutes();
+
+    /** Re-send queued messages whose destination became routable. */
+    void drainBlocked();
 
     EventQueue &eq_;
     NetParams params_;
@@ -132,9 +191,18 @@ class Mesh
     std::vector<Resource> links_;
     /** Per-directed-link fault accounting (parallel to links_). */
     std::vector<std::uint64_t> linkDrops_;
+    /** Live link-health map (parallel to links_; 1 = up). */
+    std::vector<char> linkAlive_;
+    /** Next-hop detour table, routeDir_[cur_slot * R + dst_slot] =
+     *  direction (or -1 unreachable). Valid only while degraded(). */
+    std::vector<std::int8_t> routeDir_;
+    std::deque<BlockedMsg> blocked_;
+    int deadLinks_ = 0;
     FaultPlan *faults_ = nullptr;
+    StatSet *stats_ = nullptr;
     std::uint64_t messagesSent_ = 0;
     std::uint64_t bytesSent_ = 0;
+    std::uint64_t partitionBlockedTotal_ = 0;
     Tick totalLatency_ = 0;
 };
 

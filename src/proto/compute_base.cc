@@ -134,6 +134,11 @@ ComputeBase::complete(Tick when, ReadService svc, const CompletionFn &cb)
 void
 ComputeBase::access(Addr addr, bool is_write, CompletionFn cb)
 {
+    if (dead_) {
+        // Fail-stopped: the access (from an aborted processor's write
+        // buffer or a late sync callback) vanishes; nobody is waiting.
+        return;
+    }
     PendingAccess acc;
     acc.addr = addr;
     acc.isWrite = is_write;
@@ -282,6 +287,8 @@ ComputeBase::startMiss(const PendingAccess &acc, Addr line, CohState st)
 void
 ComputeBase::handleMessage(const Message &msg)
 {
+    if (dead_)
+        return;
     const MsgHandler h = (*dispatch_)[static_cast<int>(msg.type)];
     if (!h)
         panic(std::string(spec::roleName(role_)) +
@@ -720,6 +727,34 @@ ComputeBase::flushAll(std::function<void()> done)
 }
 
 std::vector<std::tuple<Addr, CohState, Version>>
+ComputeBase::wipeForDeath()
+{
+    std::vector<std::tuple<Addr, CohState, Version>> lines;
+    forEachOwnedLine([&](Addr line, CohState st, Version v) {
+        lines.emplace_back(line, st, v);
+    });
+    // A displaced owned line whose WriteBack is still in flight exists
+    // only in that message; salvage its version too in case the mesh
+    // dropped it (the home treats a later duplicate as stale).
+    for (const auto &[line, wb] : wbPending_)
+        lines.emplace_back(line, CohState::Dirty, wb.version);
+
+    invalidateAllLocal();
+    l1_.invalidateAll();
+    l2_.invalidateAll();
+    mshrs_.clear();
+    blocked_.clear();
+    wbPending_.clear();
+    wbBlocked_.clear();
+    cimCallbacks_.clear();
+    flushDone_ = nullptr;
+    flushOutstanding_ = 0;
+    noteWipe("pnode-death");
+    dead_ = true;
+    return lines;
+}
+
+std::vector<std::tuple<Addr, CohState, Version>>
 ComputeBase::drainForReconfig()
 {
     if (!mshrs_.empty() || !wbPending_.empty())
@@ -821,6 +856,8 @@ void
 ComputeBase::faultSweep()
 {
     sweepScheduled_ = false;
+    if (dead_)
+        return;
     const Tick now = ctx_.eq().curTick();
     const FaultConfig &fc = cfg().faults;
 
@@ -920,7 +957,8 @@ ComputeBase::describeOutstanding() const
                         : m.replyArrived ? "waiting-acks"
                                          : "waiting-reply")
            << " acks=" << m.acksReceived << "/" << m.acksExpected
-           << " waiters=" << m.waiters.size() << "\n";
+           << " waiters=" << m.waiters.size() << " issue="
+           << m.issueTick << " last=" << m.lastProgress << "\n";
     }
 
     lines.clear();
@@ -931,9 +969,53 @@ ComputeBase::describeOutstanding() const
         const WbPending &wb = wbPending_.at(line);
         os << "  node " << self_ << " line 0x" << std::hex << line
            << std::dec << " WriteBack retries=" << wb.retries
-           << (wb.failed ? " abandoned" : " pending") << "\n";
+           << (wb.failed ? " abandoned" : " pending") << " last="
+           << wb.lastSend << "\n";
     }
     return os.str();
+}
+
+void
+ComputeBase::collectStuck(std::vector<StuckTxn> &out) const
+{
+    std::vector<Addr> lines;
+    lines.reserve(mshrs_.size());
+    for (const auto &[line, m] : mshrs_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    for (Addr line : lines) {
+        const Mshr &m = mshrs_.at(line);
+        StuckTxn t;
+        t.kind = "mshr";
+        t.node = self_;
+        t.line = line;
+        t.req = m.reqType;
+        t.seq = m.seq;
+        t.retries = m.retries;
+        t.state = m.failed ? "abandoned"
+                           : m.replyArrived ? "waiting-acks"
+                                            : "waiting-reply";
+        t.acksExpected = m.acksExpected;
+        t.acksReceived = m.acksReceived;
+        t.issueTick = m.issueTick;
+        t.lastProgressTick = m.lastProgress;
+        out.push_back(t);
+    }
+    lines.clear();
+    for (const auto &[line, wb] : wbPending_)
+        lines.push_back(line);
+    std::sort(lines.begin(), lines.end());
+    for (Addr line : lines) {
+        const WbPending &wb = wbPending_.at(line);
+        StuckTxn t;
+        t.kind = "writeback";
+        t.node = self_;
+        t.line = line;
+        t.retries = wb.retries;
+        t.state = wb.failed ? "abandoned" : "pending";
+        t.lastProgressTick = wb.lastSend;
+        out.push_back(t);
+    }
 }
 
 void

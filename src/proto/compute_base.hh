@@ -29,6 +29,7 @@
 #include "proto/context.hh"
 #include "proto/message.hh"
 #include "proto/spec.hh"
+#include "proto/stuck.hh"
 #include "sim/flat_map.hh"
 #include "sim/function_ref.hh"
 #include "sim/stats.hh"
@@ -89,6 +90,21 @@ class ComputeBase
     /** Watchdog diagnostic: one line per stuck MSHR / writeback, in
      *  line-address order (empty string when nothing is outstanding). */
     std::string describeOutstanding() const;
+
+    /** Structured form of describeOutstanding (watchdog reports). */
+    void collectStuck(std::vector<StuckTxn> &out) const;
+
+    /**
+     * Fail-stop: salvage every owned line (the OS can still read the
+     * dead chip's DRAM over the mesh), wipe all local state including
+     * in-flight MSHRs and writebacks, and go inert — subsequent
+     * accesses and messages are swallowed. Returns the salvaged lines
+     * for the caller to functionally write back to their homes.
+     */
+    std::vector<std::tuple<Addr, CohState, Version>> wipeForDeath();
+
+    /** True after wipeForDeath. */
+    bool isDead() const { return dead_; }
 
     /** Debug: L1 subset-of-L2 and L2 subset-of-node-storage checks. */
     void checkInclusion() const;
@@ -353,6 +369,8 @@ class ComputeBase
     /** Cached cfg().faults.enabled() (config is fixed per machine). */
     bool faultsOn_ = false;
     bool sweepScheduled_ = false;
+    /** Fail-stopped (wipeForDeath): every entry point goes inert. */
+    bool dead_ = false;
     /** Per-node transaction sequence counter (0 is "unset"). */
     std::uint64_t nextTxnSeq_ = 0;
 };

@@ -59,6 +59,11 @@ class ProtoContext
      * off (the default, so hooks cost one branch). See check/oracle.hh.
      */
     virtual CoherenceOracle *checker() { return nullptr; }
+
+    /** True iff node @p n has fail-stopped. Homes drop requests from
+     *  dead requesters instead of blocking a line on a TxnDone that
+     *  can never arrive. */
+    virtual bool nodeDead(NodeId) const { return false; }
 };
 
 } // namespace pimdsm

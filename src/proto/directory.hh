@@ -53,6 +53,16 @@ struct DirEntry
     bool ptrOverflow = false;
     /** A transaction is in flight; new requests queue. */
     bool busy = false;
+    /** Requester of the in-flight transaction (meaningful only while
+     *  busy): its TxnDone unblocks the line, so if it fail-stops the
+     *  home must administratively finish the transaction. */
+    NodeId busyFor = kInvalidNode;
+    /** Node a Fwd of the in-flight transaction targets (meaningful
+     *  only while busy). The serve may have already rewritten owner
+     *  to the new requester, so this is the only record that the
+     *  transaction's progress depends on the old owner — if it
+     *  fail-stops, the forward is lost and the home must abort. */
+    NodeId fwdTo = kInvalidNode;
     /** Requests blocked on busy. */
     std::deque<Message> pending;
 

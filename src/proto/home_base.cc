@@ -1,6 +1,7 @@
 #include "proto/home_base.hh"
 
 #include <cmath>
+#include <sstream>
 
 #include "check/oracle.hh"
 #include "sim/log.hh"
@@ -162,6 +163,13 @@ HomeBase::handleMessage(const Message &msg)
 void
 HomeBase::acceptRequest(const Message &msg)
 {
+    // A request from a fail-stopped node must not start a transaction:
+    // the line would block on a TxnDone the dead requester can never
+    // send.
+    if (faultsOn_ && ctx_.nodeDead(msg.src)) {
+        ctx_.stats().add("home.req_from_dead_dropped");
+        return;
+    }
     // Retried requests must be recognized *before* the busy check: a
     // dup of the very transaction the line is blocked on would
     // otherwise queue behind itself and deadlock.
@@ -207,6 +215,8 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
 {
     ++reads_;
     e.busy = true;
+    e.busyFor = req.src;
+    e.fwdTo = kInvalidNode;
 
     const Tick now = ctx_.eq().curTick();
     const Tick start = engine_.acquire(now, scaled(costs().readOccupancy));
@@ -255,6 +265,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         f.legs = req.legs + 1;
         f.txnSeq = req.txnSeq;
         sendAt(when, f);
+        e.fwdTo = f.dst;
 
         e.state = DirEntry::State::Shared;
         e.sharers = 0;
@@ -325,6 +336,7 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         f.legs = req.legs + 1;
         f.txnSeq = req.txnSeq;
         sendAt(when, f);
+        e.fwdTo = f.dst;
         e.state = DirEntry::State::Shared;
         e.addSharerLimited(req.src, ctx_.config().directoryPointers);
         updateLinkage(line, e);
@@ -368,6 +380,8 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
 {
     ++writes_;
     e.busy = true;
+    e.busyFor = req.src;
+    e.fwdTo = kInvalidNode;
 
     const NodeId requester = req.src;
     const Tick now = ctx_.eq().curTick();
@@ -427,6 +441,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         f.legs = req.legs + 1;
         f.txnSeq = req.txnSeq;
         sendAt(when, f);
+        e.fwdTo = f.dst; // owner is rewritten below; keep the target
 
         e.state = DirEntry::State::Dirty;
         e.owner = requester;
@@ -511,6 +526,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         f.legs = req.legs + 1;
         f.txnSeq = req.txnSeq;
         sendAt(when, f);
+        e.fwdTo = f.dst;
     } else {
         if (e.pagedOut)
             when += pageIn(line, e);
@@ -627,14 +643,139 @@ HomeBase::finishTxn(Addr line)
         panic("finishTxn on idle line");
     }
     e.busy = false;
+    e.busyFor = kInvalidNode;
+    e.fwdTo = kInvalidNode;
     // Serve queued requests until one blocks the line again. (A queued
     // WriteBack completes without blocking, so draining must continue
     // past it.)
     while (!e.busy && !e.pending.empty()) {
         Message next = e.pending.front();
         e.pending.pop_front();
+        if (faultsOn_ && ctx_.nodeDead(next.src)) {
+            ctx_.stats().add("home.req_from_dead_dropped");
+            continue;
+        }
         serveRequest(next);
     }
+}
+
+void
+HomeBase::abortNode(NodeId dead, std::vector<Addr> *unblocked_out)
+{
+    std::vector<Addr> local;
+    std::vector<Addr> &unblocked = unblocked_out ? *unblocked_out
+                                                 : local;
+    dir_.forEach([&](Addr line, DirEntry &e) {
+        // Purge the dead node's queued requests.
+        if (!e.pending.empty()) {
+            std::deque<Message> keep;
+            for (Message &m : e.pending) {
+                if (m.src == dead || m.requester == dead)
+                    ctx_.stats().add("home.req_from_dead_dropped");
+                else
+                    keep.push_back(std::move(m));
+            }
+            e.pending = std::move(keep);
+        }
+        // A transaction blocked on the dead node — as the requester
+        // whose TxnDone unblocks the line, as the owner a forward was
+        // aimed at, or as the target of an in-flight forward (the
+        // serve may have already rewritten owner to the new
+        // requester) — is administratively finished; a live
+        // requester's retry re-drives the line through the directory.
+        if (e.busy && (e.busyFor == dead || e.owner == dead ||
+                       e.fwdTo == dead)) {
+            // Forget the aborted transaction's dedup record too: the
+            // live requester retries with the *same* txnSeq, and a
+            // surviving in-flight record (no cached reply) would make
+            // dedupRequest ignore every retry forever.
+            if (e.busyFor != kInvalidNode && e.busyFor != dead)
+                served_.erase({line, e.busyFor});
+            e.busy = false;
+            e.busyFor = kInvalidNode;
+            e.fwdTo = kInvalidNode;
+            ctx_.stats().add("home.txn_aborted_dead");
+            unblocked.push_back(line);
+        }
+        e.dropSharer(dead);
+        noteDir(line, e);
+    });
+    // Re-serve queues that the aborts released (after the walk: serving
+    // mutates entries and sends messages). Deferred when the caller
+    // still has salvage to land first.
+    if (!unblocked_out) {
+        for (Addr line : unblocked)
+            drainQueued(line);
+    }
+}
+
+void
+HomeBase::drainQueued(Addr line)
+{
+    DirEntry &e = entryFor(line);
+    while (!e.busy && !e.pending.empty()) {
+        Message next = e.pending.front();
+        e.pending.pop_front();
+        if (ctx_.nodeDead(next.src)) {
+            ctx_.stats().add("home.req_from_dead_dropped");
+            continue;
+        }
+        serveRequest(next);
+    }
+}
+
+std::uint64_t
+HomeBase::reclaimDeadOwner(NodeId dead)
+{
+    std::uint64_t lost = 0;
+    dir_.forEach([&](Addr line, DirEntry &e) {
+        if (e.owner != dead)
+            return;
+        if (e.busy)
+            panic("reclaimDeadOwner: line still busy after abortNode");
+        e.owner = kInvalidNode;
+        e.masterOut = false;
+        if (!hasData(line, e) && !e.pagedOut) {
+            // The only up-to-date copy died with the chip; the disk
+            // backing copy (at the latest committed version) takes
+            // over on the next touch.
+            e.pagedOut = true;
+            ++lost;
+        }
+        if (e.sharers == 0)
+            e.state = DirEntry::State::Uncached;
+        else if (e.state == DirEntry::State::Dirty)
+            e.state = DirEntry::State::Shared;
+        noteDir(line, e);
+    });
+    if (lost) {
+        ctx_.stats().add("home.dead_owner_lines_lost",
+                         static_cast<double>(lost));
+    }
+    return lost;
+}
+
+void
+HomeBase::collectStuck(std::vector<StuckTxn> &out) const
+{
+    dir_.forEach([&](Addr line, const DirEntry &e) {
+        if (!e.busy && e.pending.empty())
+            return;
+        StuckTxn t;
+        t.kind = "home";
+        t.node = self_;
+        t.line = line;
+        t.state = e.busy ? "busy" : "queued";
+        t.seq = 0;
+        t.retries = 0;
+        t.pendingQueued = static_cast<int>(e.pending.size());
+        // The forward target is the sharper diagnostic when one is
+        // outstanding: that's the node whose reply the line awaits.
+        t.waitingOn = !e.busy ? kInvalidNode
+                              : e.fwdTo != kInvalidNode ? e.fwdTo
+                                                        : e.busyFor;
+        out.push_back(t);
+    });
 }
 
 void
@@ -704,8 +845,27 @@ void
 HomeBase::functionalWriteBack(Addr line, NodeId from, Version v)
 {
     DirEntry &e = entryFor(line);
-    if (e.busy)
-        panic("functional writeback into a busy entry");
+    if (e.busy) {
+        if (e.busyFor == from || e.owner == from || e.fwdTo == from) {
+            // abortNode must have cleared any in-flight transaction
+            // that depends on the dead node before salvage runs.
+            std::ostringstream os;
+            os << "functional writeback into a busy entry: line 0x"
+               << std::hex << line << std::dec << " from " << from
+               << " busyFor " << e.busyFor << " owner " << e.owner
+               << " fwdTo " << e.fwdTo << " state "
+               << static_cast<int>(e.state);
+            panic(os.str());
+        }
+        // A live requester's transaction is in flight and has already
+        // taken the line over (e.g. its write is invalidating the dead
+        // node's shared-master copy). The dead copy is superseded —
+        // dropping it loses nothing, and the requester's missing
+        // InvalAck is recovered by the compute fault sweep.
+        e.dropSharer(from);
+        ctx_.stats().add("fault.salvage_superseded");
+        return;
+    }
     const bool from_owner =
         e.state == DirEntry::State::Dirty && e.owner == from;
     const bool from_master = e.state == DirEntry::State::Shared &&

@@ -27,6 +27,7 @@
 #include "proto/directory.hh"
 #include "proto/message.hh"
 #include "proto/spec.hh"
+#include "proto/stuck.hh"
 #include "sim/event_queue.hh"
 #include "sim/flat_map.hh"
 
@@ -92,6 +93,36 @@ class HomeBase
      */
     void setDead(bool dead) { dead_ = dead; }
     bool isDead() const { return dead_; }
+
+    /**
+     * A compute node fail-stopped: scrub it out of this directory.
+     * Administratively finishes transactions blocked on the dead
+     * requester's TxnDone, reclaims ownership it held (its salvaged
+     * data arrives separately via functionalWriteBack; anything left
+     * falls back to the paged-out backing copy at the latest committed
+     * version), drops it from sharer sets, purges its queued requests,
+     * and re-serves the unblocked queues. When @p unblocked is given
+     * the re-serve is deferred: the lines are appended instead, and the
+     * caller drains them with drainQueued() once salvage has landed
+     * (re-serving earlier could forward a read at the dead owner and
+     * re-busy the line before functionalWriteBack can run).
+     */
+    void abortNode(NodeId dead, std::vector<Addr> *unblocked = nullptr);
+
+    /** Serve a line's queued requests until it goes busy or empties. */
+    void drainQueued(Addr line);
+
+    /**
+     * Post-salvage sweep for a fail-stopped compute node: any entry
+     * still recording @p dead as owner/master lost its only up-to-date
+     * copy (nothing salvageable remained in the dead cache), so fall
+     * back to the paged-out backing store at the latest committed
+     * version. Returns the number of lines lost.
+     */
+    std::uint64_t reclaimDeadOwner(NodeId dead);
+
+    /** Append a StuckTxn per busy/queued line (watchdog reports). */
+    void collectStuck(std::vector<StuckTxn> &out) const;
 
   protected:
     // ------------------------------------------------------------------

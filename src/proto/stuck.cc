@@ -1,0 +1,32 @@
+#include "proto/stuck.hh"
+
+#include <sstream>
+
+namespace pimdsm
+{
+
+std::string
+stuckReport(const std::vector<StuckTxn> &stuck)
+{
+    std::ostringstream os;
+    for (const StuckTxn &t : stuck) {
+        os << "  " << (t.kind == std::string("home") ? "home " : "node ")
+           << t.node << " line 0x" << std::hex << t.line << std::dec
+           << " " << t.kind;
+        if (t.kind == std::string("mshr"))
+            os << " " << msgTypeName(t.req);
+        os << " seq=" << t.seq << " retries=" << t.retries
+           << " state=" << t.state;
+        if (t.acksExpected >= 0)
+            os << " acks=" << t.acksReceived << "/" << t.acksExpected;
+        if (t.pendingQueued > 0)
+            os << " pending=" << t.pendingQueued;
+        if (t.waitingOn != kInvalidNode)
+            os << " waiting-on=" << t.waitingOn;
+        os << " issue=" << t.issueTick << " last=" << t.lastProgressTick
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace pimdsm

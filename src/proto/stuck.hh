@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Structured watchdog records: when a run stalls, every outstanding
+ * transaction (compute MSHRs, pending writebacks, busy home lines) is
+ * collected as a StuckTxn so failure reports carry the actual wedge —
+ * not just a panic prefix. WatchdogError transports the records to
+ * tools (bench_faults, pimdsm-chaos) that serialize them.
+ */
+
+#ifndef PIMDSM_PROTO_STUCK_HH
+#define PIMDSM_PROTO_STUCK_HH
+
+#include <string>
+#include <vector>
+
+#include "proto/message.hh"
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+/** One stuck transaction, as seen by the watchdog. */
+struct StuckTxn
+{
+    /** "mshr", "writeback", or "home". */
+    const char *kind = "mshr";
+    NodeId node = kInvalidNode;
+    Addr line = kInvalidAddr;
+    /** Request type in flight (mshr kind only). */
+    MsgType req = MsgType::ReadReq;
+    std::uint64_t seq = 0;
+    int retries = 0;
+    /** "waiting-reply" / "waiting-acks" / "abandoned" / "busy". */
+    const char *state = "";
+    int acksExpected = -1;
+    int acksReceived = 0;
+    Tick issueTick = 0;
+    /** Tick of the last protocol event (send, reply, ack). */
+    Tick lastProgressTick = 0;
+    /** Requests queued behind the line (home kind). */
+    int pendingQueued = 0;
+    /** Node whose reply/TxnDone the transaction is waiting on (home
+     *  kind: the busy requester), if known. */
+    NodeId waitingOn = kInvalidNode;
+};
+
+/** One report line per record ("  node N line 0x... ..."). */
+std::string stuckReport(const std::vector<StuckTxn> &stuck);
+
+/**
+ * Watchdog panic carrying the structured stall report. Derives from
+ * PanicError so existing catch sites keep working; new tools catch
+ * WatchdogError first to serialize the stuck list.
+ */
+struct WatchdogError : PanicError
+{
+    WatchdogError(const std::string &msg, std::vector<StuckTxn> s,
+                  std::size_t partition_blocked)
+        : PanicError(msg), stuck(std::move(s)),
+          partitionBlocked(partition_blocked)
+    {
+    }
+
+    std::vector<StuckTxn> stuck;
+    /** Messages queued against an unroutable partition at stall time
+     *  (non-zero means the wedge is partition-blocked, not a protocol
+     *  stall). */
+    std::size_t partitionBlocked = 0;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_PROTO_STUCK_HH

@@ -9,10 +9,67 @@
 #include "core/sync.hh"
 #include "machine/machine.hh"
 #include "machine/reconfig.hh"
+#include "proto/stuck.hh"
 #include "sim/log.hh"
 
 namespace pimdsm
 {
+
+namespace
+{
+
+/** One entry of the unified fault timeline (every domain flattened). */
+struct FaultEvent
+{
+    enum class Kind
+    {
+        DNodeDeath,
+        PNodeDeath,
+        LinkDown,
+        LinkUp,
+    };
+
+    Tick tick = 0;
+    Kind kind = Kind::DNodeDeath;
+    NodeId node = kInvalidNode;
+    LinkRef link{};
+};
+
+/** Flatten every fault domain into one tick-sorted schedule (timed
+ *  partitions become a LinkDown per cut link plus the matching LinkUp
+ *  at the heal tick). */
+std::vector<FaultEvent>
+buildFaultTimeline(const FaultConfig &fc)
+{
+    std::vector<FaultEvent> ev;
+    for (const auto &d : fc.deaths) {
+        ev.push_back(
+            {d.tick, FaultEvent::Kind::DNodeDeath, d.node, {}});
+    }
+    for (const auto &d : fc.pnodeDeaths) {
+        ev.push_back(
+            {d.tick, FaultEvent::Kind::PNodeDeath, d.node, {}});
+    }
+    for (const auto &l : fc.linkDeaths) {
+        ev.push_back({l.tick, FaultEvent::Kind::LinkDown, kInvalidNode,
+                      {l.x, l.y, l.dir}});
+    }
+    for (const auto &p : fc.partitions) {
+        for (const auto &l : p.cut) {
+            ev.push_back(
+                {p.tick, FaultEvent::Kind::LinkDown, kInvalidNode, l});
+            ev.push_back({p.healTick, FaultEvent::Kind::LinkUp,
+                          kInvalidNode, l});
+        }
+    }
+    std::stable_sort(ev.begin(), ev.end(),
+                     [](const FaultEvent &a, const FaultEvent &b) {
+                         return a.tick < b.tick;
+                     });
+    return ev;
+}
+
+} // namespace
 
 RunResult
 runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
@@ -27,31 +84,76 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
 
     RunResult result;
 
-    // Scheduled fail-stop deaths, fired from the driver (not from
-    // pre-armed events: the trailing per-phase drain must observe the
-    // same queue a fault-free run does).
-    std::vector<DNodeDeath> deaths = cfg.faults.deaths;
-    std::sort(deaths.begin(), deaths.end(),
-              [](const DNodeDeath &a, const DNodeDeath &b) {
-                  return a.tick < b.tick;
-              });
-    std::size_t death_idx = 0;
-    auto fire_death = [&](NodeId n) {
-        if (n < 0 || n >= m.totalNodes() || m.isDead(n) ||
-            m.role(n) != NodeRole::Directory) {
-            warn("scheduled death skipped: node " + std::to_string(n) +
-                 " is not a live D-node");
-            m.stats().add("fault.deaths_skipped");
+    // Scheduled faults, fired from the driver (not from pre-armed
+    // events: the trailing per-phase drain must observe the same queue
+    // a fault-free run does). All domains share one sorted timeline.
+    const std::vector<FaultEvent> fevents =
+        buildFaultTimeline(cfg.faults);
+    std::size_t fev_idx = 0;
+
+    // The phase loop parks its live processors here so a P-node death
+    // can abort the thread running on the dead chip.
+    std::vector<std::unique_ptr<Processor>> *cur_procs = nullptr;
+    const std::vector<NodeId> *cur_ids = nullptr;
+
+    auto fire_event = [&](const FaultEvent &ev) {
+        switch (ev.kind) {
+          case FaultEvent::Kind::DNodeDeath:
+            {
+                const NodeId n = ev.node;
+                if (n < 0 || n >= m.totalNodes() || m.isDead(n) ||
+                    m.role(n) != NodeRole::Directory) {
+                    warn("scheduled death skipped: node " +
+                         std::to_string(n) + " is not a live D-node");
+                    m.stats().add("fault.deaths_skipped");
+                    return;
+                }
+                const FailoverResult fr = failOverDNode(m, n);
+                result.failoverTicks += fr.cost;
+                ++result.failovers;
+                return;
+            }
+          case FaultEvent::Kind::PNodeDeath:
+            {
+                const NodeId n = ev.node;
+                if (n < 0 || n >= m.totalNodes() || m.isDead(n) ||
+                    m.role(n) != NodeRole::Compute || !m.compute(n) ||
+                    m.computeNodes().size() <= 1) {
+                    warn("scheduled P-node death skipped: node " +
+                         std::to_string(n) +
+                         " is not a live, non-last P-node");
+                    m.stats().add("fault.deaths_skipped");
+                    return;
+                }
+                const PNodeFailoverResult fr = failOverPNode(m, n);
+                result.pnodeFailoverTicks += fr.cost;
+                ++result.pnodeFailovers;
+                // Shrink the sync population (releases a barrier the
+                // death completed, breaks a dead-held lock) and abort
+                // the thread so the phase's done-count converges.
+                sync.threadDied(m.compute(n));
+                if (cur_procs) {
+                    for (std::size_t t = 0; t < cur_ids->size(); ++t) {
+                        if ((*cur_ids)[t] == n)
+                            (*cur_procs)[t]->abort();
+                    }
+                }
+                return;
+            }
+          case FaultEvent::Kind::LinkDown:
+            m.mesh().setLinkAlive(ev.link.x, ev.link.y, ev.link.dir,
+                                  false);
+            return;
+          case FaultEvent::Kind::LinkUp:
+            m.mesh().setLinkAlive(ev.link.x, ev.link.y, ev.link.dir,
+                                  true);
             return;
         }
-        const FailoverResult fr = failOverDNode(m, n);
-        result.failoverTicks += fr.cost;
-        ++result.failovers;
     };
-    auto fire_due_deaths = [&] {
-        while (death_idx < deaths.size() &&
-               m.eq().curTick() >= deaths[death_idx].tick) {
-            fire_death(deaths[death_idx++].node);
+    auto fire_due_events = [&] {
+        while (fev_idx < fevents.size() &&
+               m.eq().curTick() >= fevents[fev_idx].tick) {
+            fire_event(fevents[fev_idx++]);
         }
     };
 
@@ -92,6 +194,8 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
             procs[t]->run(wl.makeStream(phase, t, threads),
                           [&done] { ++done; });
         }
+        cur_procs = &procs;
+        cur_ids = &compute_ids;
 
         PhaseResult pr;
         pr.name = wl.phaseName(phase);
@@ -100,11 +204,15 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         std::uint64_t events = 0;
         while (done < threads) {
             if (!m.eq().runOne()) {
-                // The queue can legitimately drain early if the only
-                // future event is a scheduled node death: fire it now
-                // (its failover may revive retries) and keep going.
-                if (death_idx < deaths.size()) {
-                    fire_death(deaths[death_idx++].node);
+                // The queue can legitimately drain early when the only
+                // future work is a scheduled fault event (a failover
+                // or a partition heal may revive retries): advance the
+                // clock to it and fire.
+                if (fev_idx < fevents.size()) {
+                    const Tick ft = fevents[fev_idx].tick;
+                    if (ft > m.eq().curTick())
+                        m.eq().runUntil(ft);
+                    fire_event(fevents[fev_idx++]);
                     continue;
                 }
                 m.dumpState(std::cerr);
@@ -112,17 +220,45 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
                     if (!procs[t]->finished())
                         std::cerr << "thread " << t << " unfinished\n";
                 }
-                panic("watchdog: phase '" + pr.name +
-                      "' stalled with work outstanding:\n" +
-                      m.stuckDiagnostic());
+                if (m.mesh().partitionBlocked() > 0) {
+                    // Distinct from a protocol stall: the work is
+                    // queued against a partition that never heals.
+                    throw WatchdogError(
+                        "watchdog: phase '" + pr.name +
+                            "' blocked on an unhealed partition:\n" +
+                            m.stuckDiagnostic(),
+                        m.collectStuck(), m.mesh().partitionBlocked());
+                }
+                throw WatchdogError(
+                    "watchdog: phase '" + pr.name +
+                        "' stalled with work outstanding:\n" +
+                        m.stuckDiagnostic(),
+                    m.collectStuck(), 0);
             }
-            fire_due_deaths();
+            fire_due_events();
             if (++events > opts.maxEventsPerPhase)
                 panic("phase '" + pr.name + "' exceeded event budget");
         }
-        // Drain trailing protocol activity (acks, writebacks).
-        while (m.eq().runOne())
-            fire_due_deaths();
+        // Drain trailing protocol activity (acks, writebacks). If the
+        // drain wedges behind an unhealed partition, fast-forward to
+        // the next scheduled fault event (the heal frees the queue).
+        while (true) {
+            if (m.eq().runOne()) {
+                fire_due_events();
+                continue;
+            }
+            if (m.mesh().partitionBlocked() > 0 &&
+                fev_idx < fevents.size()) {
+                const Tick ft = fevents[fev_idx].tick;
+                if (ft > m.eq().curTick())
+                    m.eq().runUntil(ft);
+                fire_event(fevents[fev_idx++]);
+                continue;
+            }
+            break;
+        }
+        cur_procs = nullptr;
+        cur_ids = nullptr;
 
         pr.endTick = m.eq().curTick();
         for (auto &p : procs) {
@@ -160,11 +296,11 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         }
     }
 
-    if (death_idx < deaths.size()) {
-        warn("scheduled node deaths never fired (workload finished "
+    if (fev_idx < fevents.size()) {
+        warn("scheduled fault events never fired (workload finished "
              "first)");
-        m.stats().add("fault.deaths_unfired",
-                      static_cast<double>(deaths.size() - death_idx));
+        m.stats().add("fault.events_unfired",
+                      static_cast<double>(fevents.size() - fev_idx));
     }
 
     result.totalTicks = m.eq().curTick();

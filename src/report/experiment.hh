@@ -77,6 +77,10 @@ struct RunResult
     int failovers = 0;
     /** Modeled overhead of those failovers. */
     Tick failoverTicks = 0;
+    /** Scheduled P-node deaths that were failed over. */
+    int pnodeFailovers = 0;
+    /** Modeled overhead of those failovers. */
+    Tick pnodeFailoverTicks = 0;
 
     /** Fraction of total time that is memory stall (Figure 6 split). */
     double

@@ -60,11 +60,18 @@ MachineConfig::validate() const
     if (proc.maxOutstandingLoads > proc.maxOutstanding)
         fatal("load limit exceeds total outstanding limit");
     faults.validate();
+    faults.validateTopology(net.meshX, net.meshY, numPNodes);
     for (const auto &d : faults.deaths) {
         if (arch != ArchKind::Agg)
             fatal("scheduled node deaths require an AGG machine");
         if (d.node < numPNodes || d.node >= totalNodes())
             fatal("scheduled death must name a D-node");
+    }
+    for (const auto &d : faults.pnodeDeaths) {
+        if (arch != ArchKind::Agg)
+            fatal("scheduled P-node deaths require an AGG machine");
+        if (d.node < 0 || d.node >= numPNodes)
+            fatal("scheduled P-node death must name a P-node");
     }
 }
 

@@ -1,14 +1,19 @@
 /**
  * @file
- * Deterministic fault injection (lossy mesh + D-node death).
+ * Deterministic fault injection (lossy mesh, link/partition faults,
+ * node death).
  *
  * A FaultPlan is a seeded schedule of network misbehaviour — per
  * message-class drop / delay / duplicate probabilities plus directed
- * "drop exactly the Nth message of this class" events — and of D-node
- * fail-stop deaths. The mesh consults the plan on every send; the
- * protocol layers recover through MSHR timeouts with exponential
- * backoff, home-side request dedup, and directory failover (see
- * DESIGN.md, "Fault model & degradation").
+ * "drop exactly the Nth message of this class" events — and of
+ * scheduled structural faults: D-node and P-node fail-stop deaths,
+ * single-link fail-stop deaths, and timed network partitions (a cut
+ * set of links that heals at a later tick). The mesh consults the
+ * plan on every send and a live link-health map on every path walk;
+ * the protocol layers recover through MSHR timeouts with exponential
+ * backoff, home-side request dedup, detour routing, partition queues
+ * that drain on heal, and directory failover (see DESIGN.md, "Fault
+ * model & degradation").
  *
  * Only message classes the protocol can recover from are droppable
  * (requests, replies, writebacks); configured drops on other classes
@@ -65,6 +70,67 @@ struct DNodeDeath
     NodeId node = kInvalidNode;
 };
 
+/** A scheduled fail-stop P-node (compute) death. */
+struct PNodeDeath
+{
+    Tick tick = 0;
+    NodeId node = kInvalidNode;
+};
+
+/** A directed mesh link, named by its source router and direction
+ *  (0=E, 1=W, 2=N, 3=S — matches Mesh::linkIndex). A fault on a link
+ *  kills both directions of the physical channel. */
+struct LinkRef
+{
+    int x = 0;
+    int y = 0;
+    int dir = 0;
+
+    bool operator==(const LinkRef &o) const
+    {
+        return x == o.x && y == o.y && dir == o.dir;
+    }
+};
+
+/** A scheduled permanent link fail-stop. */
+struct LinkDeath
+{
+    Tick tick = 0;
+    int x = 0;
+    int y = 0;
+    int dir = 0;
+};
+
+/** A timed network partition: the cut set of links goes down at
+ *  @c tick and heals at @c healTick. healTick == 0 means the
+ *  partition never heals (rejected by validate() because the finite
+ *  retryLimit would abandon every blocked transaction). */
+struct Partition
+{
+    Tick tick = 0;
+    Tick healTick = 0;
+    std::vector<LinkRef> cut;
+};
+
+/**
+ * The structural fault domains a schedule can draw from. Used by the
+ * chaos fuzzer's generator and by diagnostics; keep faultDomainName()
+ * and the tools/chaos generator exhaustive over this enum
+ * (tools/lint.sh checks both).
+ */
+enum class FaultDomain : std::uint8_t
+{
+    Rates,      ///< per-class drop/delay/dup probabilities + dropNth
+    DNodeDeath, ///< directory-node fail-stop
+    PNodeDeath, ///< compute-node fail-stop
+    LinkDeath,  ///< permanent single-link fail-stop
+    Partition,  ///< timed cut set that heals later
+};
+
+constexpr int kNumFaultDomains = 5;
+
+const char *faultDomainName(FaultDomain d);
+
 /** Fault-injection knobs, carried inside MachineConfig. */
 struct FaultConfig
 {
@@ -85,6 +151,12 @@ struct FaultConfig
     Tick sweepInterval = 2000;
     /** Scheduled D-node deaths (fired by the experiment runner). */
     std::vector<DNodeDeath> deaths;
+    /** Scheduled P-node (compute) deaths. */
+    std::vector<PNodeDeath> pnodeDeaths;
+    /** Scheduled permanent link deaths. */
+    std::vector<LinkDeath> linkDeaths;
+    /** Scheduled timed partitions (cut + heal). */
+    std::vector<Partition> partitions;
 
     /**
      * Arm the recovery machinery (txn sequence numbers, home-side
@@ -105,6 +177,15 @@ struct FaultConfig
 
     /** Throw FatalError on nonsensical settings. */
     void validate() const;
+
+    /**
+     * Topology-aware validation, called from MachineConfig::validate()
+     * once the mesh dimensions and node counts are known: rejects
+     * link deaths / partition cuts naming off-mesh links and P-node
+     * death schedules that would kill the last live compute node.
+     */
+    void validateTopology(int mesh_x, int mesh_y,
+                          int num_compute) const;
 };
 
 /** What the mesh should do with one message. */
@@ -115,6 +196,8 @@ enum class FaultAction : std::uint8_t
     Delay,
     Duplicate,
 };
+
+const char *faultActionName(FaultAction a);
 
 struct FaultDecision
 {

@@ -1,0 +1,859 @@
+/**
+ * @file
+ * pimdsm-chaos: randomized fault-schedule fuzzer, delta-debugging
+ * shrinker, and repro replayer.
+ *
+ * `fuzz` generates seeded random fault schedules over every
+ * FaultDomain (per-class rates, D-node and P-node deaths, link deaths,
+ * timed partitions), runs an oracle-armed workload under each, and
+ * classifies the outcome:
+ *
+ *   completed        ran to the end, no fault actually perturbed it
+ *   recovered        ran to the end through retries/failovers/heals
+ *   oracle_violation the coherence oracle flagged the run
+ *   wedge            the watchdog found the machine stalled
+ *   panic            any other protocol/simulator invariant broke
+ *
+ * Anything that is not completed/recovered (or that mismatches the
+ * expected outcome) is delta-debugged down to a minimal fault-event
+ * list and written as a versioned repro file that `replay` re-runs —
+ * the committed repros under tests/chaos_repros/ run under ctest.
+ * See docs/chaos-repro-format.md for the file format.
+ *
+ * The whole pipeline is deterministic: same seed, same schedule, same
+ * outcome, byte-identical repro.
+ */
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "machine/builder.hh"
+#include "proto/stuck.hh"
+#include "report/experiment.hh"
+#include "sim/fault.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "workload/workload.hh"
+
+using namespace pimdsm;
+
+namespace
+{
+
+// --------------------------------------------------------------- model
+
+/** One schedule entry; exactly one FaultDomain's fields are live. */
+struct ChaosEvent
+{
+    FaultDomain domain = FaultDomain::Rates;
+
+    // Rates: per-class probabilities (last event per class wins).
+    int cls = 0;
+    double drop = 0.0;
+    double delay = 0.0;
+    double dup = 0.0;
+    std::uint64_t dropNth = 0;
+
+    // Deaths and timed faults.
+    Tick tick = 0;
+    NodeId node = kInvalidNode;
+
+    // Link death / partition cut geometry.
+    int x = 0;
+    int y = 0;
+    int dir = 0;
+    Tick healTick = 0;
+    std::vector<LinkRef> cut;
+};
+
+struct Schedule
+{
+    ArchKind arch = ArchKind::Agg;
+    std::string app = "fft";
+    int threads = 4;
+    int scale = 1;
+    std::uint64_t seed = 1;
+    ProtoMutation mutation = ProtoMutation::None;
+    std::vector<ChaosEvent> events;
+};
+
+enum class Outcome
+{
+    Completed,
+    Recovered,
+    OracleViolation,
+    Wedge,
+    Panic,
+    Invalid, ///< config rejected: a generator bug, never acceptable
+};
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Completed:
+        return "completed";
+      case Outcome::Recovered:
+        return "recovered";
+      case Outcome::OracleViolation:
+        return "oracle_violation";
+      case Outcome::Wedge:
+        return "wedge";
+      case Outcome::Panic:
+        return "panic";
+      case Outcome::Invalid:
+        return "invalid";
+    }
+    return "?";
+}
+
+const char *
+mutationName(ProtoMutation m)
+{
+    switch (m) {
+      case ProtoMutation::None:
+        return "none";
+      case ProtoMutation::SkipInval:
+        return "skip_inval";
+      case ProtoMutation::DoubleOwner:
+        return "double_owner";
+      case ProtoMutation::LeakSlot:
+        return "leak_slot";
+    }
+    return "?";
+}
+
+struct RunReport
+{
+    Outcome outcome = Outcome::Completed;
+    std::string detail;
+};
+
+// ----------------------------------------------------------- execution
+
+void
+applyEvents(FaultConfig &fc, const std::vector<ChaosEvent> &events)
+{
+    for (const ChaosEvent &ev : events) {
+        switch (ev.domain) {
+          case FaultDomain::Rates:
+            fc.rates[ev.cls].drop = ev.drop;
+            fc.rates[ev.cls].delay = ev.delay;
+            fc.rates[ev.cls].duplicate = ev.dup;
+            fc.rates[ev.cls].dropNth = ev.dropNth;
+            break;
+          case FaultDomain::DNodeDeath:
+            fc.deaths.push_back(DNodeDeath{ev.tick, ev.node});
+            break;
+          case FaultDomain::PNodeDeath:
+            fc.pnodeDeaths.push_back(PNodeDeath{ev.tick, ev.node});
+            break;
+          case FaultDomain::LinkDeath:
+            fc.linkDeaths.push_back(
+                LinkDeath{ev.tick, ev.x, ev.y, ev.dir});
+            break;
+          case FaultDomain::Partition:
+            fc.partitions.push_back(
+                Partition{ev.tick, ev.healTick, ev.cut});
+            break;
+        }
+    }
+}
+
+double
+counter(const RunResult &r, const std::string &name)
+{
+    const auto it = r.counters.find(name);
+    return it == r.counters.end() ? 0.0 : it->second;
+}
+
+std::string
+firstLine(const std::string &s)
+{
+    return s.substr(0, s.find('\n'));
+}
+
+RunReport
+runSchedule(const Schedule &sc)
+{
+    RunReport rep;
+    try {
+        auto wl = makeWorkload(sc.app, sc.scale);
+        BuildSpec spec;
+        spec.arch = sc.arch;
+        spec.threads = sc.threads;
+        spec.pressure = 0.25;
+        spec.dRatio = 2; // >= 2 D-nodes so one can die
+        MachineConfig cfg = buildConfig(*wl, spec);
+        cfg.seed = sc.seed;
+        cfg.check.enabled = true;
+        cfg.check.mutation = sc.mutation;
+        applyEvents(cfg.faults, sc.events);
+
+        RunOptions opts;
+        opts.checkInvariants = true;
+        warnResetForTest();
+        const RunResult r = runWorkload(cfg, *wl, opts);
+        warnResetForTest();
+
+        if (counter(r, "check.violations") > 0) {
+            rep.outcome = Outcome::OracleViolation;
+            std::ostringstream os;
+            os << counter(r, "check.violations")
+               << " oracle violation(s) counted in degraded mode";
+            rep.detail = os.str();
+            return rep;
+        }
+        const bool perturbed =
+            counter(r, "fault.retries") > 0 ||
+            counter(r, "fault.net.drop") > 0 ||
+            counter(r, "fault.net.link_deaths") > 0 ||
+            counter(r, "fault.net.partition_blocked") > 0 ||
+            r.failovers > 0 || r.pnodeFailovers > 0;
+        rep.outcome =
+            perturbed ? Outcome::Recovered : Outcome::Completed;
+        return rep;
+    } catch (const WatchdogError &e) {
+        rep.outcome = Outcome::Wedge;
+        rep.detail = firstLine(e.what());
+        return rep;
+    } catch (const PanicError &e) {
+        // A strict-mode oracle panic is the same defect class as a
+        // counted violation (the mode only depends on whether any
+        // fault event survived shrinking).
+        const std::string what = e.what();
+        rep.outcome = what.find("coherence violation") != std::string::npos
+                          ? Outcome::OracleViolation
+                          : Outcome::Panic;
+        rep.detail = firstLine(what);
+        return rep;
+    } catch (const FatalError &e) {
+        rep.outcome = Outcome::Invalid;
+        rep.detail = firstLine(e.what());
+        return rep;
+    }
+}
+
+// ----------------------------------------------------------- generator
+
+/** Mesh geometry of the machine a schedule builds (for valid links). */
+struct Geometry
+{
+    int meshX = 0;
+    int meshY = 0;
+    int pnodes = 0;
+    int total = 0;
+};
+
+Geometry
+geometryOf(const Schedule &sc)
+{
+    auto wl = makeWorkload(sc.app, sc.scale);
+    BuildSpec spec;
+    spec.arch = sc.arch;
+    spec.threads = sc.threads;
+    spec.pressure = 0.25;
+    spec.dRatio = 2;
+    const MachineConfig cfg = buildConfig(*wl, spec);
+    return Geometry{cfg.net.meshX, cfg.net.meshY, cfg.numPNodes,
+                    cfg.totalNodes()};
+}
+
+/** A random on-mesh link (never pointing off the edge). */
+LinkRef
+randomLink(Rng &rng, const Geometry &g)
+{
+    while (true) {
+        const int x = static_cast<int>(rng.nextBounded(g.meshX));
+        const int y = static_cast<int>(rng.nextBounded(g.meshY));
+        const int dir = static_cast<int>(rng.nextBounded(4));
+        if ((dir == 0 && x == g.meshX - 1) || (dir == 1 && x == 0) ||
+            (dir == 2 && y == g.meshY - 1) || (dir == 3 && y == 0))
+            continue;
+        return LinkRef{x, y, dir};
+    }
+}
+
+/** True if the mesh stays connected after killing @p dead channels
+ *  (both directions die with a channel, so an undirected BFS). */
+bool
+meshStaysConnected(const Geometry &g, const std::vector<LinkRef> &dead)
+{
+    auto channelDead = [&](int x, int y, int dir) {
+        static const int dx[4] = {1, -1, 0, 0};
+        static const int dy[4] = {0, 0, 1, -1};
+        static const int opp[4] = {1, 0, 3, 2};
+        for (const LinkRef &l : dead) {
+            if (l.x == x && l.y == y && l.dir == dir)
+                return true;
+            if (l.x == x + dx[dir] && l.y == y + dy[dir] &&
+                l.dir == opp[dir])
+                return true;
+        }
+        return false;
+    };
+    std::vector<char> seen(
+        static_cast<std::size_t>(g.meshX) * g.meshY, 0);
+    std::vector<std::pair<int, int>> frontier{{0, 0}};
+    seen[0] = 1;
+    std::size_t reached = 1;
+    static const int dx[4] = {1, -1, 0, 0};
+    static const int dy[4] = {0, 0, 1, -1};
+    while (!frontier.empty()) {
+        const auto [x, y] = frontier.back();
+        frontier.pop_back();
+        for (int dir = 0; dir < 4; ++dir) {
+            const int nx = x + dx[dir], ny = y + dy[dir];
+            if (nx < 0 || nx >= g.meshX || ny < 0 || ny >= g.meshY)
+                continue;
+            if (seen[static_cast<std::size_t>(ny) * g.meshX + nx])
+                continue;
+            if (channelDead(x, y, dir))
+                continue;
+            seen[static_cast<std::size_t>(ny) * g.meshX + nx] = 1;
+            ++reached;
+            frontier.emplace_back(nx, ny);
+        }
+    }
+    return reached ==
+           static_cast<std::size_t>(g.meshX) * g.meshY;
+}
+
+/** A vertical cut severing the mesh between columns c and c+1. */
+std::vector<LinkRef>
+columnCut(int c, const Geometry &g)
+{
+    std::vector<LinkRef> cut;
+    for (int y = 0; y < g.meshY; ++y)
+        cut.push_back(LinkRef{c, y, 0});
+    return cut;
+}
+
+Schedule
+generate(std::uint64_t seed, ArchKind arch, ProtoMutation mutation)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+    Schedule sc;
+    sc.arch = arch;
+    sc.seed = seed;
+    sc.mutation = mutation;
+    static const char *kApps[] = {"fft", "radix", "barnes"};
+    sc.app = kApps[rng.nextBounded(3)];
+    sc.threads = 4;
+
+    const Geometry g = geometryOf(sc);
+
+    // Every domain is drawn independently; keep schedules small so a
+    // failure is already close to minimal. The switch is exhaustive
+    // over FaultDomain (tools/lint.sh checks it).
+    const int n = 1 + static_cast<int>(rng.nextBounded(4));
+    for (int i = 0; i < n; ++i) {
+        ChaosEvent ev;
+        const auto domain =
+            static_cast<FaultDomain>(rng.nextBounded(kNumFaultDomains));
+        ev.domain = domain;
+        ev.tick = 20000 + rng.nextBounded(400000);
+        switch (domain) {
+          case FaultDomain::Rates:
+            ev.cls = static_cast<int>(rng.nextBounded(kNumFaultClasses));
+            ev.drop = rng.chance(0.7) ? 0.01 + 0.04 * rng.nextDouble()
+                                      : 0.0;
+            ev.delay = rng.chance(0.3) ? 0.05 * rng.nextDouble() : 0.0;
+            ev.dup = rng.chance(0.3) ? 0.05 * rng.nextDouble() : 0.0;
+            ev.dropNth = rng.chance(0.2) ? 1 + rng.nextBounded(200) : 0;
+            break;
+          case FaultDomain::DNodeDeath:
+            if (sc.arch != ArchKind::Agg)
+                continue; // structural deaths are AGG-only
+            ev.node = static_cast<NodeId>(
+                g.pnodes + rng.nextBounded(g.total - g.pnodes));
+            break;
+          case FaultDomain::PNodeDeath:
+            if (sc.arch != ArchKind::Agg)
+                continue;
+            ev.node = static_cast<NodeId>(rng.nextBounded(g.pnodes));
+            break;
+          case FaultDomain::LinkDeath:
+            {
+                const LinkRef l = randomLink(rng, g);
+                ev.x = l.x;
+                ev.y = l.y;
+                ev.dir = l.dir;
+                // Accumulating permanent link deaths must never
+                // disconnect the mesh: an isolated node is an
+                // *expected* wedge, which would drown real failures.
+                std::vector<LinkRef> dead{l};
+                for (const ChaosEvent &prev : sc.events) {
+                    if (prev.domain == FaultDomain::LinkDeath)
+                        dead.push_back(
+                            LinkRef{prev.x, prev.y, prev.dir});
+                }
+                if (!meshStaysConnected(g, dead))
+                    continue;
+                break;
+            }
+          case FaultDomain::Partition:
+            ev.cut = columnCut(
+                static_cast<int>(rng.nextBounded(g.meshX - 1)), g);
+            ev.healTick = ev.tick + 50000 + rng.nextBounded(200000);
+            break;
+        }
+        sc.events.push_back(std::move(ev));
+    }
+
+    // At most one death per structural domain: more can legitimately
+    // wedge the machine (e.g. every D-node dead), which would drown
+    // the interesting failures in expected ones.
+    int dnode_deaths = 0, pnode_deaths = 0;
+    std::vector<ChaosEvent> kept;
+    for (ChaosEvent &ev : sc.events) {
+        if (ev.domain == FaultDomain::DNodeDeath && ++dnode_deaths > 1)
+            continue;
+        if (ev.domain == FaultDomain::PNodeDeath && ++pnode_deaths > 1)
+            continue;
+        kept.push_back(std::move(ev));
+    }
+    sc.events = std::move(kept);
+    return sc;
+}
+
+// ------------------------------------------------------------ shrinker
+
+/** Failure classes match if the outcome kind is the same. */
+bool
+sameFailure(const RunReport &a, const RunReport &b)
+{
+    return a.outcome == b.outcome;
+}
+
+/**
+ * ddmin over the event list: repeatedly try removing chunks (then
+ * their complements) while the failure reproduces. O(n^2) runs worst
+ * case; schedules are tiny, and a hard cap bounds the work.
+ */
+std::vector<ChaosEvent>
+shrink(const Schedule &sc, const RunReport &target, int *runs_out)
+{
+    std::vector<ChaosEvent> best = sc.events;
+    int runs = 0;
+    const int kMaxRuns = 200;
+
+    auto reproduces = [&](const std::vector<ChaosEvent> &events) {
+        if (runs >= kMaxRuns)
+            return false;
+        ++runs;
+        Schedule trial = sc;
+        trial.events = events;
+        return sameFailure(runSchedule(trial), target);
+    };
+
+    std::size_t granularity = 2;
+    while (best.size() >= 1 && granularity <= best.size() * 2) {
+        const std::size_t chunk =
+            std::max<std::size_t>(1, best.size() / granularity);
+        bool reduced = false;
+        for (std::size_t start = 0; start < best.size();
+             start += chunk) {
+            std::vector<ChaosEvent> without;
+            for (std::size_t i = 0; i < best.size(); ++i) {
+                if (i < start || i >= start + chunk)
+                    without.push_back(best[i]);
+            }
+            if (without.size() < best.size() &&
+                reproduces(without)) {
+                best = std::move(without);
+                granularity = std::max<std::size_t>(2, granularity - 1);
+                reduced = true;
+                break;
+            }
+        }
+        if (!reduced) {
+            if (chunk == 1)
+                break;
+            granularity *= 2;
+        }
+        if (runs >= kMaxRuns)
+            break;
+    }
+    // Final sweep: try dropping each remaining event individually.
+    for (std::size_t i = 0; i < best.size() && runs < kMaxRuns;) {
+        std::vector<ChaosEvent> without = best;
+        without.erase(without.begin() + static_cast<long>(i));
+        if (reproduces(without))
+            best = std::move(without);
+        else
+            ++i;
+    }
+    if (runs_out)
+        *runs_out = runs;
+    return best;
+}
+
+// ------------------------------------------------------- repro file IO
+
+std::string
+linkRefStr(const LinkRef &l)
+{
+    std::ostringstream os;
+    os << l.x << "," << l.y << "," << l.dir;
+    return os.str();
+}
+
+void
+writeRepro(std::ostream &os, const Schedule &sc, Outcome expect)
+{
+    os << "pimdsm-chaos-repro v1\n";
+    os << "expect " << outcomeName(expect) << "\n";
+    os << "arch "
+       << (sc.arch == ArchKind::Agg
+               ? "agg"
+               : sc.arch == ArchKind::Coma ? "coma" : "numa")
+       << "\n";
+    os << "app " << sc.app << "\n";
+    os << "threads " << sc.threads << "\n";
+    os << "scale " << sc.scale << "\n";
+    os << "seed " << sc.seed << "\n";
+    os << "mutation " << mutationName(sc.mutation) << "\n";
+    for (const ChaosEvent &ev : sc.events) {
+        os << "event " << faultDomainName(ev.domain);
+        switch (ev.domain) {
+          case FaultDomain::Rates:
+            os << " cls=" << ev.cls << " drop=" << ev.drop
+               << " delay=" << ev.delay << " dup=" << ev.dup
+               << " dropnth=" << ev.dropNth;
+            break;
+          case FaultDomain::DNodeDeath:
+          case FaultDomain::PNodeDeath:
+            os << " tick=" << ev.tick << " node=" << ev.node;
+            break;
+          case FaultDomain::LinkDeath:
+            os << " tick=" << ev.tick << " x=" << ev.x << " y=" << ev.y
+               << " dir=" << ev.dir;
+            break;
+          case FaultDomain::Partition:
+            {
+                os << " tick=" << ev.tick << " heal=" << ev.healTick
+                   << " cut=";
+                for (std::size_t i = 0; i < ev.cut.size(); ++i) {
+                    if (i)
+                        os << ";";
+                    os << linkRefStr(ev.cut[i]);
+                }
+                break;
+            }
+        }
+        os << "\n";
+    }
+}
+
+[[noreturn]] void
+parseFail(const std::string &why)
+{
+    std::cerr << "repro parse error: " << why << "\n";
+    std::exit(2);
+}
+
+std::map<std::string, std::string>
+parseKv(std::istringstream &is)
+{
+    std::map<std::string, std::string> kv;
+    std::string tok;
+    while (is >> tok) {
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos)
+            parseFail("expected key=value, got '" + tok + "'");
+        kv[tok.substr(0, eq)] = tok.substr(eq + 1);
+    }
+    return kv;
+}
+
+/** Parse a repro stream into (schedule, expected outcome). */
+Schedule
+parseRepro(std::istream &in, Outcome *expect)
+{
+    Schedule sc;
+    std::string line;
+    if (!std::getline(in, line) || line != "pimdsm-chaos-repro v1")
+        parseFail("missing 'pimdsm-chaos-repro v1' header");
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream is(line);
+        std::string key;
+        is >> key;
+        if (key == "expect") {
+            std::string v;
+            is >> v;
+            bool found = false;
+            for (int i = 0; i <= static_cast<int>(Outcome::Invalid);
+                 ++i) {
+                if (v == outcomeName(static_cast<Outcome>(i))) {
+                    *expect = static_cast<Outcome>(i);
+                    found = true;
+                }
+            }
+            if (!found)
+                parseFail("unknown outcome '" + v + "'");
+        } else if (key == "arch") {
+            std::string v;
+            is >> v;
+            if (v == "agg")
+                sc.arch = ArchKind::Agg;
+            else if (v == "coma")
+                sc.arch = ArchKind::Coma;
+            else if (v == "numa")
+                sc.arch = ArchKind::Numa;
+            else
+                parseFail("unknown arch '" + v + "'");
+        } else if (key == "app") {
+            is >> sc.app;
+        } else if (key == "threads") {
+            is >> sc.threads;
+        } else if (key == "scale") {
+            is >> sc.scale;
+        } else if (key == "seed") {
+            is >> sc.seed;
+        } else if (key == "mutation") {
+            std::string v;
+            is >> v;
+            bool found = false;
+            for (int i = 0; i < 4; ++i) {
+                const auto m = static_cast<ProtoMutation>(i);
+                if (v == mutationName(m)) {
+                    sc.mutation = m;
+                    found = true;
+                }
+            }
+            if (!found)
+                parseFail("unknown mutation '" + v + "'");
+        } else if (key == "event") {
+            std::string dom;
+            is >> dom;
+            ChaosEvent ev;
+            bool found = false;
+            for (int i = 0; i < kNumFaultDomains; ++i) {
+                const auto d = static_cast<FaultDomain>(i);
+                if (dom == faultDomainName(d)) {
+                    ev.domain = d;
+                    found = true;
+                }
+            }
+            if (!found)
+                parseFail("unknown fault domain '" + dom + "'");
+            auto kv = parseKv(is);
+            auto num = [&](const char *k) -> double {
+                return kv.count(k) ? std::stod(kv[k]) : 0.0;
+            };
+            ev.cls = static_cast<int>(num("cls"));
+            ev.drop = num("drop");
+            ev.delay = num("delay");
+            ev.dup = num("dup");
+            ev.dropNth = static_cast<std::uint64_t>(num("dropnth"));
+            ev.tick = static_cast<Tick>(num("tick"));
+            ev.node = static_cast<NodeId>(
+                kv.count("node") ? std::stoll(kv["node"])
+                                 : kInvalidNode);
+            ev.x = static_cast<int>(num("x"));
+            ev.y = static_cast<int>(num("y"));
+            ev.dir = static_cast<int>(num("dir"));
+            ev.healTick = static_cast<Tick>(num("heal"));
+            if (kv.count("cut")) {
+                std::istringstream cs(kv["cut"]);
+                std::string part;
+                while (std::getline(cs, part, ';')) {
+                    LinkRef l;
+                    if (std::sscanf(part.c_str(), "%d,%d,%d", &l.x,
+                                    &l.y, &l.dir) != 3)
+                        parseFail("bad cut element '" + part + "'");
+                    ev.cut.push_back(l);
+                }
+            }
+            sc.events.push_back(std::move(ev));
+        } else {
+            parseFail("unknown directive '" + key + "'");
+        }
+    }
+    return sc;
+}
+
+// ---------------------------------------------------------------- CLI
+
+int
+cmdFuzz(int count, std::uint64_t seed0, ProtoMutation mutation,
+        const std::string &outdir, Outcome expect,
+        const std::string &arch_filter)
+{
+    int bad = 0, invalid = 0;
+    std::map<std::string, int> tally;
+    for (int i = 0; i < count; ++i) {
+        const std::uint64_t seed = seed0 + static_cast<unsigned>(i);
+        // Cycle the architectures so the corpus covers all three,
+        // unless --arch pins one (e.g. mutation corpora restricted to
+        // the archs where the seeded bug manifests).
+        const ArchKind arch =
+            arch_filter == "agg"
+                ? ArchKind::Agg
+                : arch_filter == "coma"
+                      ? ArchKind::Coma
+                      : arch_filter == "numa"
+                            ? ArchKind::Numa
+                            : i % 3 == 0 ? ArchKind::Agg
+                                         : i % 3 == 1 ? ArchKind::Coma
+                                                      : ArchKind::Numa;
+        const Schedule sc = generate(seed, arch, mutation);
+        const RunReport rep = runSchedule(sc);
+        ++tally[outcomeName(rep.outcome)];
+        std::cout << "seed=" << seed << " arch="
+                  << archName(sc.arch) << " app=" << sc.app
+                  << " events=" << sc.events.size() << " -> "
+                  << outcomeName(rep.outcome)
+                  << (rep.detail.empty() ? "" : "  [" + rep.detail + "]")
+                  << "\n";
+        if (rep.outcome == Outcome::Invalid)
+            ++invalid;
+        const bool acceptable = rep.outcome == expect ||
+                                (expect == Outcome::Completed &&
+                                 rep.outcome == Outcome::Recovered);
+        if (acceptable)
+            continue;
+        ++bad;
+        // Shrink and write a repro for the unexpected outcome.
+        int runs = 0;
+        Schedule minimal = sc;
+        minimal.events = shrink(sc, rep, &runs);
+        std::ostringstream name;
+        name << outdir << "/repro-seed" << seed << "-"
+             << outcomeName(rep.outcome) << ".txt";
+        std::ofstream f(name.str());
+        writeRepro(f, minimal, rep.outcome);
+        std::cout << "  shrunk " << sc.events.size() << " -> "
+                  << minimal.events.size() << " events (" << runs
+                  << " runs), wrote " << name.str() << "\n";
+    }
+    std::cout << "\nfuzz summary:";
+    for (const auto &[k, v] : tally)
+        std::cout << " " << k << "=" << v;
+    std::cout << "\n";
+    if (invalid)
+        std::cerr << invalid << " schedule(s) were rejected by "
+                  << "validation: generator bug\n";
+    return bad || invalid ? 1 : 0;
+}
+
+int
+cmdReplay(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::cerr << "cannot open " << path << "\n";
+        return 2;
+    }
+    Outcome expect = Outcome::Completed;
+    const Schedule sc = parseRepro(f, &expect);
+    const RunReport rep = runSchedule(sc);
+    const bool acceptable = rep.outcome == expect ||
+                            (expect == Outcome::Completed &&
+                             rep.outcome == Outcome::Recovered);
+    std::cout << path << ": expected " << outcomeName(expect)
+              << ", got " << outcomeName(rep.outcome)
+              << (rep.detail.empty() ? "" : "  [" + rep.detail + "]")
+              << (acceptable ? "  OK" : "  MISMATCH") << "\n";
+    return acceptable ? 0 : 1;
+}
+
+int
+cmdShrink(const std::string &path, const std::string &out)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::cerr << "cannot open " << path << "\n";
+        return 2;
+    }
+    Outcome expect = Outcome::Completed;
+    Schedule sc = parseRepro(f, &expect);
+    const RunReport rep = runSchedule(sc);
+    std::cout << path << ": reproduces as " << outcomeName(rep.outcome)
+              << "\n";
+    int runs = 0;
+    Schedule minimal = sc;
+    minimal.events = shrink(sc, rep, &runs);
+    std::cout << "shrunk " << sc.events.size() << " -> "
+              << minimal.events.size() << " events in " << runs
+              << " runs\n";
+    std::ofstream o(out);
+    writeRepro(o, minimal, rep.outcome);
+    std::cout << "wrote " << out << "\n";
+    return 0;
+}
+
+int
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  pimdsm-chaos fuzz [--count N] [--seed S] "
+           "[--mutation none|skip_inval|double_owner|leak_slot]\n"
+        << "                    [--expect OUTCOME] [--out DIR] "
+           "[--arch all|agg|coma|numa]\n"
+        << "  pimdsm-chaos replay FILE\n"
+        << "  pimdsm-chaos shrink FILE [--out FILE]\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    auto flag = [&](const std::string &name,
+                    const std::string &dflt) -> std::string {
+        for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+            if (args[i] == name)
+                return args[i + 1];
+        }
+        return dflt;
+    };
+
+    if (cmd == "fuzz") {
+        const int count = std::stoi(flag("--count", "20"));
+        const std::uint64_t seed =
+            std::stoull(flag("--seed", "1000"));
+        const std::string mut = flag("--mutation", "none");
+        ProtoMutation mutation = ProtoMutation::None;
+        for (int i = 0; i < 4; ++i) {
+            if (mut == mutationName(static_cast<ProtoMutation>(i)))
+                mutation = static_cast<ProtoMutation>(i);
+        }
+        const std::string exp = flag(
+            "--expect",
+            mutation == ProtoMutation::None ? "completed"
+                                            : "oracle_violation");
+        Outcome expect = Outcome::Completed;
+        for (int i = 0; i <= static_cast<int>(Outcome::Invalid); ++i) {
+            if (exp == outcomeName(static_cast<Outcome>(i)))
+                expect = static_cast<Outcome>(i);
+        }
+        const std::string arch = flag("--arch", "all");
+        if (arch != "all" && arch != "agg" && arch != "coma" &&
+            arch != "numa")
+            return usage();
+        return cmdFuzz(count, seed, mutation, flag("--out", "."),
+                       expect, arch);
+    }
+    if (cmd == "replay" && !args.empty())
+        return cmdReplay(args[0]);
+    if (cmd == "shrink" && !args.empty())
+        return cmdShrink(args[0], flag("--out", args[0] + ".min"));
+    return usage();
+}

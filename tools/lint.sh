@@ -108,6 +108,34 @@ if [ -n "$hits" ]; then
     complain "std::function / node-based map in a hot path (use sim/inline_callback.hh, sim/function_ref.hh, or sim/flat_map.hh):" "$hits"
 fi
 
+# --- 7. Fault enum exhaustiveness -------------------------------------
+# Every FaultAction / FaultDomain enumerator must have a case in its
+# name function (src/sim/fault.cc), and every FaultDomain must be
+# handled by the chaos generator (tools/chaos/chaos.cc) — a domain the
+# fuzzer cannot draw is a fault path with zero randomized coverage.
+for enum_name in FaultAction FaultDomain; do
+    enums=$(sed -n "/^enum class $enum_name/,/^};/p" src/sim/fault.hh |
+            grep -oE '^    [A-Z][A-Za-z]+' | tr -d ' ')
+    missing=""
+    for e in $enums; do
+        grep -qE "case $enum_name::$e:" src/sim/fault.cc ||
+            missing="$missing $e"
+    done
+    if [ -n "$missing" ]; then
+        complain "$enum_name enumerators missing from src/sim/fault.cc name function:" "$missing"
+    fi
+    if [ "$enum_name" = FaultDomain ]; then
+        missing=""
+        for e in $enums; do
+            grep -qE "case $enum_name::$e:" tools/chaos/chaos.cc ||
+                missing="$missing $e"
+        done
+        if [ -n "$missing" ]; then
+            complain "FaultDomain enumerators unhandled by tools/chaos/chaos.cc (generator/apply/writer):" "$missing"
+        fi
+    fi
+done
+
 if [ "$fail" -ne 0 ]; then
     echo "lint: FAILED" >&2
     exit 1
