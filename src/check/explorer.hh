@@ -81,6 +81,17 @@ struct ExplorerResult
     std::uint64_t decisions = 0;      ///< total choices taken
     std::uint64_t faultSchedules = 0; ///< schedules containing a fault
     std::uint64_t maxDepthSeen = 0;   ///< deepest decision sequence
+    /** Decision-tree nodes first reached this run (decisions minus the
+     *  replay overhead: decisions == visited + reExecuted). */
+    std::uint64_t visited = 0;
+    /** Decisions replayed from a backtrack prefix — the inherent
+     *  re-execution cost of stateless DFS (contrast the spec-level
+     *  checker, which deduplicates states instead; see
+     *  docs/model-checking.md). */
+    std::uint64_t reExecuted = 0;
+    /** Decisions past maxDecisionDepth where branching was suppressed
+     *  (siblings pruned by the depth cap rather than explored). */
+    std::uint64_t pruned = 0;
     bool truncated = false;           ///< hit maxSchedules early
 };
 

@@ -87,11 +87,30 @@ ComaHome::handleWriteBack(const Message &msg)
     const Tick when =
         start + handlerLatency(msg, costs().writeBackLatency);
 
-    // Same attribution rules as HomeBase::handleWriteBack (see the
-    // comment there about the eviction/upgrade race).
-    const bool from_owner = e.state == DirEntry::State::Dirty &&
+    // Same dedup and attribution rules as HomeBase::handleWriteBack
+    // (see the comments there about the eviction/upgrade race and
+    // about stale duplicated writebacks from a re-injected evictor).
+    if (ctx_.config().faults.enabled() && msg.txnSeq != 0) {
+        ServedTxn &sv = served_[{line, msg.src}];
+        if (msg.txnSeq <= sv.wbSeq) {
+            ctx_.stats().add("home.dup_writeback_ignored");
+            Message dup_ack;
+            dup_ack.type = MsgType::WriteBackAck;
+            dup_ack.dst = msg.src;
+            dup_ack.lineAddr = line;
+            sendAt(when, dup_ack);
+            return;
+        }
+        sv.wbSeq = msg.txnSeq;
+    }
+
+    const bool stale_version =
+        ctx_.config().faults.enabled() && msg.version < e.version;
+    const bool from_owner = !stale_version &&
+                            e.state == DirEntry::State::Dirty &&
                             e.owner == msg.src && !msg.masterClean;
-    const bool from_master = e.state == DirEntry::State::Shared &&
+    const bool from_master = !stale_version &&
+                             e.state == DirEntry::State::Shared &&
                              e.masterOut && e.owner == msg.src;
 
     // The evictor may proceed regardless; the home now safeguards the
@@ -228,13 +247,19 @@ ComaHome::handleInjectResponse(const Message &msg)
     }
 
     // Nack.
-    if (pi.grantMode) {
+    if (pi.grantMode && !ctx_.config().faults.enabled()) {
         // The candidate silently dropped its copy: a stale sharer bit.
         e.dropSharer(msg.src);
         if (e.sharers == 0 && e.state == DirEntry::State::Shared)
             e.state = DirEntry::State::Uncached;
         noteDir(msg.lineAddr, e);
     }
+    // Under faults a Nack does not prove absence: the candidate's
+    // granted copy may still be in flight (a dropped reply the home
+    // just replayed), and dropping its sharer bit would let a later
+    // write serialize without ever invalidating the copy that then
+    // installs. Keep the bit; the write's Inval loop invalidates the
+    // node and scrubs its cached reply whether or not it installed.
     stepInjection(msg.lineAddr, pi);
 }
 

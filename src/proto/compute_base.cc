@@ -307,6 +307,7 @@ ComputeBase::handleReply(const Message &msg)
             // A duplicated/replayed reply for a transaction that
             // already completed.
             ctx_.stats().add("fault.orphan_reply");
+            ackStaleBlockingReply(msg);
             return;
         }
         panic("reply with no MSHR: " + msg.toString());
@@ -316,6 +317,7 @@ ComputeBase::handleReply(const Message &msg)
         msg.txnSeq != m.seq) {
         // Reply belongs to a previous transaction on the same line.
         ctx_.stats().add("fault.stale_reply");
+        ackStaleBlockingReply(msg);
         return;
     }
     if (m.replyArrived) {
@@ -324,6 +326,17 @@ ComputeBase::handleReply(const Message &msg)
             return;
         }
         panic("duplicate reply: " + msg.toString());
+    }
+    if (faultsOn_ && m.supersededVer != 0 &&
+        msg.version <= m.supersededVer) {
+        // A dead grant: we served an exclusive forward that yielded
+        // this line to a later writer after the grant was issued.
+        // Installing it would resurrect an invalidated copy next to
+        // the new owner's. Drop it and keep retrying; the retry
+        // carries the floor so the home re-serves fresh.
+        ctx_.stats().add("fault.superseded_reply_dropped");
+        ackStaleBlockingReply(msg);
+        return;
     }
     m.lastProgress = ctx_.eq().curTick();
     m.replyArrived = true;
@@ -334,6 +347,30 @@ ComputeBase::handleReply(const Message &msg)
     m.grantsMaster = msg.grantsMaster;
     m.needsTxnDone = msg.needsTxnDone;
     tryComplete(msg.lineAddr);
+}
+
+void
+ComputeBase::ackStaleBlockingReply(const Message &msg)
+{
+    if (!msg.needsTxnDone)
+        return;
+    // The home may be blocked waiting for this transaction's TxnDone,
+    // but the transaction is dead on our side — a grant for a request
+    // we have since abandoned (e.g. a scrubbed retry the home
+    // re-served after our next transaction on the line started).
+    // Unblock it; the home's identity check discards the TxnDone if
+    // the line has since moved on to someone else. (Found by the
+    // spec-level model checker: a re-served stale read's forward
+    // blocking the home forever.)
+    Message done;
+    done.type = MsgType::TxnDone;
+    done.lineAddr = msg.lineAddr;
+    done.src = self_;
+    done.dst = ctx_.homeOf(msg.lineAddr, self_);
+    done.txnSeq = msg.txnSeq;
+    ctx_.stats().add("fault.stale_reply_txndone");
+    const Tick when = ctx_.eq().curTick() + msgEngineLatency_;
+    ctx_.eq().schedule(when, [this, done] { ctx_.send(done); });
 }
 
 void
@@ -550,6 +587,21 @@ ComputeBase::handleFwd(const Message &msg)
         ctx_.stats().add("compute.fwd_from_wb_buffer");
     }
 
+    if (live && msg.fwdKind == FwdKind::Read && msg.version > data_version) {
+        auto mit = mshrs_.find(line);
+        if (mit != mshrs_.end()) {
+            // The directory stamped a version ahead of our copy while
+            // we have our own transaction in flight on this line: our
+            // granting reply was lost, and serving now would hand the
+            // reader a stale copy the directory believes is current.
+            // Park the forward; the MSHR's retry/replay installs the
+            // granted version and then re-drives it.
+            mit->second.deferredFwds.push_back(msg);
+            ctx_.stats().add("fault.fwd_deferred_stale");
+            return;
+        }
+    }
+
     const Tick when =
         now + msgEngineLatency_ + (live ? fwdDataLatency() : 0);
 
@@ -584,6 +636,14 @@ ComputeBase::handleFwd(const Message &msg)
         if (live) {
             invalidateLocal(line);
             noteState(line, "fwd-inval");
+            // Our own transaction (if any) just lost the race: any
+            // grant it was promised at or below this version is dead.
+            auto mit = mshrs_.find(line);
+            if (mit != mshrs_.end() &&
+                msg.version > mit->second.supersededVer) {
+                mit->second.supersededVer = msg.version;
+                ctx_.stats().add("fault.grant_superseded");
+            }
         }
         reply.version = msg.version; // the new write generation
         reply.ackCount = msg.ackCount;
@@ -627,6 +687,7 @@ ComputeBase::emitWriteBack(Addr line, CohState st, Version v)
     wb_state.masterClean = st == CohState::SharedMaster;
     wb_state.lastSend = ctx_.eq().curTick();
     wb_state.curTimeout = cfg().faults.timeoutTicks;
+    wb_state.seq = ++nextTxnSeq_;
     wbPending_[line] = wb_state;
 
     Message wb;
@@ -636,6 +697,7 @@ ComputeBase::emitWriteBack(Addr line, CohState st, Version v)
     wb.dst = ctx_.homeOf(line, self_);
     wb.version = v;
     wb.masterClean = wb_state.masterClean;
+    wb.txnSeq = wb_state.seq;
     ctx_.send(wb);
     scheduleFaultSweep();
 }
@@ -829,6 +891,10 @@ ComputeBase::resendRequest(Mshr &m)
     req.requester = self_;
     req.legs = req.dst == self_ ? 0 : 1;
     req.txnSeq = m.seq;
+    req.isRetry = true;
+    // Version floor: cached grants at or below it are dead (we served
+    // a superseding exclusive forward) and must not be replayed.
+    req.version = m.supersededVer;
     ctx_.send(req);
 }
 
@@ -849,6 +915,7 @@ ComputeBase::resendWriteBack(Addr line, WbPending &wb)
     msg.dst = ctx_.homeOf(line, self_);
     msg.version = wb.version;
     msg.masterClean = wb.masterClean;
+    msg.txnSeq = wb.seq;
     ctx_.send(msg);
 }
 

@@ -180,6 +180,16 @@ class ComputeBase
         bool failed = false;
         /** Bitmask of nodes whose InvalAck was counted (dedup). */
         std::uint64_t ackFrom = 0;
+        /**
+         * Highest version of an exclusive forward this node served
+         * while the transaction was in flight. Serving that forward
+         * yielded the line to a later writer, so any grant at or
+         * below this version is dead: installing it would resurrect
+         * an invalidated copy next to the new owner's. Retries carry
+         * it (Message::version) so the home re-serves instead of
+         * replaying the dead cached grant.
+         */
+        Version supersededVer = 0;
         /** Forwards that arrived before our data did (replayed after
          *  the line installs). */
         std::vector<Message> deferredFwds;
@@ -195,6 +205,13 @@ class ComputeBase
         Tick curTimeout = 0;
         int retries = 0;
         bool failed = false;
+        /**
+         * Per-eviction sequence number (drawn from the same counter as
+         * request txnSeqs) stamped on the WriteBack and its resends so
+         * the home can discard duplicates that straggle until after
+         * this node re-acquired the line at the same version.
+         */
+        std::uint64_t seq = 0;
     };
 
     // ------------------------------------------------------------------
@@ -284,6 +301,10 @@ class ComputeBase
     void fillL2(Addr line, CohState st, Version v, bool dirty);
 
     void handleReply(const Message &msg);
+    /** A stale/orphan reply that carries needsTxnDone still owes the
+     *  home its unblock (the transaction is dead on this side but the
+     *  home may be serving its re-served retry). */
+    void ackStaleBlockingReply(const Message &msg);
     void handleInvalAck(const Message &msg);
     void handleInval(const Message &msg);
     void handleFwd(const Message &msg);

@@ -264,6 +264,12 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         f.lineAddr = line;
         f.legs = req.legs + 1;
         f.txnSeq = req.txnSeq;
+        // Stamp the version the directory expects the owner to hold:
+        // if a fault lost the owner's granting reply, the owner can
+        // see the directory ran ahead of it and defer the forward
+        // until its own transaction replays (serving now would hand
+        // the reader a stale copy).
+        f.version = e.version;
         sendAt(when, f);
         e.fwdTo = f.dst;
 
@@ -335,6 +341,9 @@ HomeBase::serveRead(Addr line, DirEntry &e, const Message &req)
         f.lineAddr = line;
         f.legs = req.legs + 1;
         f.txnSeq = req.txnSeq;
+        // See the 3-hop forward above: lets a master whose own grant
+        // was lost detect that the directory ran ahead of its copy.
+        f.version = e.version;
         sendAt(when, f);
         e.fwdTo = f.dst;
         e.state = DirEntry::State::Shared;
@@ -485,19 +494,7 @@ HomeBase::serveWrite(Addr line, DirEntry &e, const Message &req)
         i.requester = requester;
         i.lineAddr = line;
         sendAt(when, i);
-        if (faultsOn_) {
-            // Scrub any cached granting reply held for the node being
-            // invalidated: if its original reply was lost, replaying it
-            // after this invalidation would resurrect a stale copy the
-            // directory no longer tracks. The scrub forces such a retry
-            // back through the directory (see dedupRequest).
-            auto sit = served_.find({line, t});
-            if (sit != served_.end() && sit->second.hasReply) {
-                sit->second.hasReply = false;
-                sit->second.reply = Message{};
-                ctx_.stats().add("home.stale_reply_scrubbed");
-            }
-        }
+        scrubServedReply(line, t);
     }
 
     const bool dataless_ok = req.type == MsgType::UpgradeReq &&
@@ -576,6 +573,26 @@ HomeBase::handleWriteBack(const Message &msg)
         engine_.acquire(now, scaled(costs().writeBackOccupancy));
     Tick when = start + handlerLatency(msg, costs().writeBackLatency);
 
+    // Duplicate writebacks are discarded by sequence number, not by
+    // state: after a re-injection hands the evictor the same version
+    // back, a straggler duplicate passes both attribution and the
+    // version guard and would surrender an ownership the sender never
+    // gave up again. Ack it (the sender may be a retry waiting on a
+    // lost ack) and touch nothing.
+    if (faultsOn_ && msg.txnSeq != 0) {
+        ServedTxn &sv = served_[{msg.lineAddr, msg.src}];
+        if (msg.txnSeq <= sv.wbSeq) {
+            ctx_.stats().add("home.dup_writeback_ignored");
+            Message ack;
+            ack.type = MsgType::WriteBackAck;
+            ack.dst = msg.src;
+            ack.lineAddr = msg.lineAddr;
+            sendAt(when, ack);
+            return;
+        }
+        sv.wbSeq = msg.txnSeq;
+    }
+
     // Attribution: a *dirty* writeback from the current owner, or a
     // master-copy writeback from the current master. The masterClean
     // flag disambiguates the race where a node's clean-master eviction
@@ -584,9 +601,16 @@ HomeBase::handleWriteBack(const Message &msg)
     // absorbed. Conversely, a dirty eviction whose owner was demoted
     // to master by an intervening forwarded read is still the master's
     // (current) data.
-    const bool from_owner = e.state == DirEntry::State::Dirty &&
+    // A legitimate owner/master writeback always carries the entry's
+    // current version; a duplicated WriteBack can straggle until after
+    // its sender re-acquired the line (e.g. a COMA re-injection), when
+    // it would otherwise pass attribution and absorb stale data.
+    const bool stale_version = faultsOn_ && msg.version < e.version;
+    const bool from_owner = !stale_version &&
+                            e.state == DirEntry::State::Dirty &&
                             e.owner == msg.src && !msg.masterClean;
-    const bool from_master = e.state == DirEntry::State::Shared &&
+    const bool from_master = !stale_version &&
+                             e.state == DirEntry::State::Shared &&
                              e.masterOut && e.owner == msg.src;
 
     if (from_owner) {
@@ -626,11 +650,12 @@ HomeBase::handleTxnDone(const Message &msg)
     const Tick start = engine_.acquire(now, scaled(costs().ackOccupancy));
     const Tick when = start + scaled(costs().ackLatency);
     const Addr line = msg.lineAddr;
-    ctx_.eq().schedule(when, [this, line] { finishTxn(line); });
+    const NodeId from = msg.src;
+    ctx_.eq().schedule(when, [this, line, from] { finishTxn(line, from); });
 }
 
 void
-HomeBase::finishTxn(Addr line)
+HomeBase::finishTxn(Addr line, NodeId from)
 {
     DirEntry &e = entryFor(line);
     if (!e.busy) {
@@ -641,6 +666,24 @@ HomeBase::finishTxn(Addr line)
             return;
         }
         panic("finishTxn on idle line");
+    }
+    if (from != kInvalidNode && e.busyFor != from) {
+        // The line is blocked for a *different* transaction than this
+        // TxnDone's sender — a duplicate of an earlier TxnDone whose
+        // original already unblocked the line, or a straggler landing
+        // during a COMA injection (busyFor invalid). Unblocking here
+        // would serve the next queued request while the current
+        // transaction's invalidations/forwards are still in flight —
+        // under a write, that puts two exclusive grants in the air at
+        // once. (Found by the spec-level model checker: duplicated
+        // TxnDone + queued second writer.)
+        if (faultsOn_) {
+            ctx_.stats().add("home.mismatched_txndone");
+            return;
+        }
+        panic("TxnDone from node " + std::to_string(from) +
+              " while line is blocked for node " +
+              std::to_string(e.busyFor));
     }
     e.busy = false;
     e.busyFor = kInvalidNode;
@@ -908,29 +951,83 @@ HomeBase::dedupRequest(const Message &msg)
         return false;
     }
     if (msg.txnSeq == it->second.seq && it->second.hasReply) {
-        // Fully served but the reply was lost. Replaying is sound:
-        // any transaction that has since taken the line away from this
-        // requester either routed a Fwd through it (which the requester
-        // defers until the replayed install, then yields to) or sent it
-        // an Inval, in which case serveWrite scrubbed this cached reply
-        // and we would not be here. Refusing instead can deadlock: the
-        // fresh retry queues behind a line whose busy transaction is
-        // itself waiting on the deferred Fwd this replay unblocks.
-        // Replay it verbatim at the cheap ack-handler cost (no
-        // directory transition).
-        const Tick now = ctx_.eq().curTick();
-        const Tick start =
-            engine_.acquire(now, scaled(costs().ackOccupancy));
-        Message r = it->second.reply;
-        r.legs = msg.legs + 1;
-        ctx_.stats().add("home.reply_replayed");
-        sendAt(start + scaled(costs().ackLatency), r);
-    } else {
-        // Still in flight (blocked or forwarded), or an older
-        // transaction's straggler: ignore the duplicate.
-        ctx_.stats().add("home.dup_request_ignored");
+        if (msg.version != 0 && it->second.reply.version <= msg.version) {
+            // The retry carries a version floor: the requester served
+            // a superseding exclusive forward after this grant was
+            // cached, so replaying it would resurrect a dead copy.
+            // Fall through and re-serve the transaction fresh.
+            ctx_.stats().add("home.superseded_reply_not_replayed");
+        } else {
+            // Fully served but the reply was lost. Replaying is
+            // sound: any transaction that has since taken the line
+            // away from this requester either routed a Fwd through it
+            // (which the requester defers until the replayed install,
+            // then yields to) or sent it an Inval, in which case
+            // serveWrite scrubbed this cached reply and we would not
+            // be here. Refusing instead can deadlock: the fresh retry
+            // queues behind a line whose busy transaction is itself
+            // waiting on the deferred Fwd this replay unblocks.
+            // Replay it verbatim at the cheap ack-handler cost (no
+            // directory transition).
+            const Tick now = ctx_.eq().curTick();
+            const Tick start =
+                engine_.acquire(now, scaled(costs().ackOccupancy));
+            Message r = it->second.reply;
+            r.legs = msg.legs + 1;
+            ctx_.stats().add("home.reply_replayed");
+            sendAt(start + scaled(costs().ackLatency), r);
+            return true;
+        }
     }
+    if (msg.txnSeq == it->second.seq) {
+        // Same transaction, no cached reply. Two very different cases
+        // share this shape. If the transaction is genuinely still in
+        // flight at this home — the line is blocked serving it, or it
+        // sits in the pending queue — this is a straggler duplicate
+        // and must be ignored. But if it is in flight *nowhere* (the
+        // reply was scrubbed by a later invalidation after being
+        // lost), ignoring would stall the requester forever: no
+        // future retry could ever look fresher. Re-serve it through
+        // the directory. (Found by the spec-level model checker:
+        // dropped grant + later invalidation + same-seq retry.)
+        const DirEntry &e = entryFor(msg.lineAddr);
+        bool live = e.busy && e.busyFor == msg.src;
+        for (const Message &p : e.pending)
+            live = live || p.src == msg.src;
+        // Only a requester-marked retry is re-served: a mesh duplicate
+        // of a request whose transaction already completed looks
+        // identical here, and re-serving it would serialize a phantom
+        // grant nobody is waiting for.
+        if (!live && msg.isRetry) {
+            ctx_.stats().add("home.scrubbed_retry_reserved");
+            // A re-served write serializes the same store a second
+            // time: the first grant's version was voided when the
+            // copy it promised got invalidated away, so the line's
+            // final version runs one ahead of the store count. The
+            // sequential reference consults this counter.
+            if (msg.type == MsgType::ReadExReq ||
+                msg.type == MsgType::UpgradeReq)
+                ctx_.stats().add("home.extra_write_serializations");
+            return false;
+        }
+    }
+    // Still in flight (blocked or forwarded), or an older
+    // transaction's straggler: ignore the duplicate.
+    ctx_.stats().add("home.dup_request_ignored");
     return true;
+}
+
+void
+HomeBase::scrubServedReply(Addr line, NodeId node)
+{
+    if (!faultsOn_)
+        return;
+    auto sit = served_.find({line, node});
+    if (sit != served_.end() && sit->second.hasReply) {
+        sit->second.hasReply = false;
+        sit->second.reply = Message{};
+        ctx_.stats().add("home.stale_reply_scrubbed");
+    }
 }
 
 void

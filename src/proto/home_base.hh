@@ -251,8 +251,11 @@ class HomeBase
     void handleTxnDone(const Message &msg);
     void handleOwnerToHome(const Message &msg);
 
-    /** Unblock @p line and serve the next queued request, if any. */
-    void finishTxn(Addr line);
+    /** Unblock @p line and serve the next queued request, if any.
+     *  @p from is the TxnDone sender; it must match the transaction
+     *  the line is blocked for (kInvalidNode, the default for the
+     *  internal completion paths, unblocks unconditionally). */
+    void finishTxn(Addr line, NodeId from = kInvalidNode);
 
     /** Report @p line's directory entry to the coherence oracle after
      *  a state transition (no-op unless check.enabled). */
@@ -275,6 +278,16 @@ class HomeBase
      */
     void sendReplyTracked(Tick when, Message r, const Message &req);
 
+    /**
+     * Scrub @p node's cached granting reply for @p line (no-op unless
+     * faults are on and a reply is cached). Called when an Inval or an
+     * exclusive forward supersedes a grant the node may never have
+     * received: replaying the stale grant on retry would resurrect a
+     * copy the directory no longer tracks, so the scrub forces the
+     * retry back through the directory (see dedupRequest).
+     */
+    void scrubServedReply(Addr line, NodeId node);
+
     ProtoContext &ctx_;
     NodeId self_;
     spec::Role role_;
@@ -291,6 +304,15 @@ class HomeBase
         std::uint64_t seq = 0;
         bool hasReply = false;
         Message reply;
+        /**
+         * Highest WriteBack sequence processed from this node for this
+         * line. Writebacks get their own dedup lane: a duplicate can
+         * straggle until after the sender re-acquired the line at the
+         * same version (e.g. via a COMA re-injection), when neither
+         * attribution nor the version guard can tell it from a fresh
+         * eviction — only the sequence number can.
+         */
+        std::uint64_t wbSeq = 0;
     };
     FlatMap<std::pair<Addr, NodeId>, ServedTxn> served_;
     /** Cached cfg().faults.enabled(). */

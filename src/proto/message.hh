@@ -102,6 +102,15 @@ struct Message
      */
     std::uint64_t txnSeq = 0;
 
+    /**
+     * This request is a timeout-driven resend of one still stalled at
+     * the requester. Only a marked retry may be re-served when its
+     * dedup record was scrubbed: a mesh *duplicate* of a request whose
+     * transaction already completed must be ignored instead, or the
+     * home would serialize a phantom grant nobody is waiting for.
+     */
+    bool isRetry = false;
+
     /** Payload bytes (data-bearing messages carry one memory line). */
     int payloadBytes(int mem_line_bytes) const;
 

@@ -445,8 +445,12 @@ registerMessages(ProtocolSpec &p)
                  "COMA: promote your Shared copy to master");
     p.declareMsg(MT::FwdReply, MC::Peer, Vn::Response,
                  "owner's data to the original requester");
-    p.declareMsg(MT::OwnerToHome, MC::WriteBack, Vn::Request,
-                 "owner's opportunistic sharing writeback to the home",
+    // Peer, not WriteBack: it rides the forward flow with no
+    // retransmitter (no ack, no pending record), and for a masterless
+    // home (NUMA) it is the only path the latest data takes back — a
+    // drop would strand every future read miss on the line.
+    p.declareMsg(MT::OwnerToHome, MC::Peer, Vn::Request,
+                 "owner's sharing writeback to the home",
                  /*sink=*/true);
     p.declareMsg(MT::InvalAck, MC::Ack, Vn::Response,
                  "sharer's invalidation ack to the requester");

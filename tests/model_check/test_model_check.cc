@@ -60,6 +60,14 @@ TEST(ModelCheck, AggTwoWritersEveryOrderingIsCoherent)
     EXPECT_GE(res.schedules, 2u);
     EXPECT_GT(res.decisions, res.schedules);
     EXPECT_EQ(res.faultSchedules, 0u);
+    // Stateless-DFS accounting: every decision is either a first visit
+    // or a prefix re-execution, and with > 1 schedule the backtrack
+    // replay cost must show up.
+    EXPECT_EQ(res.decisions, res.visited + res.reExecuted);
+    EXPECT_GT(res.visited, 0u);
+    EXPECT_GT(res.reExecuted, 0u);
+    // Nothing in this tiny workload reaches the depth cap.
+    EXPECT_EQ(res.pruned, 0u);
 }
 
 TEST(ModelCheck, NumaTwoWritersEveryOrderingIsCoherent)
@@ -115,6 +123,11 @@ TEST(ModelCheck, AggDropDupExploresOverAThousandSchedules)
     EXPECT_GT(res.faultSchedules, 0u);
     // Fault-free baselines are part of the same tree.
     EXPECT_LT(res.faultSchedules, res.schedules);
+    EXPECT_EQ(res.decisions, res.visited + res.reExecuted);
+    // On a deep tree the replay overhead dominates fresh visits —
+    // exactly the cost the spec-level checker's visited-set dedup
+    // avoids (docs/model-checking.md).
+    EXPECT_GT(res.reExecuted, res.visited);
 }
 
 TEST(ModelCheck, NumaDropDupStaysCoherent)

@@ -9,15 +9,20 @@
  * the protocol documentation:
  *
  *   pimdsm-protocheck [--md docs/protocol.md] [--dot docs/protocol.dot]
+ *                     [--json report.json]
  *
  * Exit status 0 when every check passes, 1 on any violation (CI fails
  * on drift by diffing the regenerated docs against the committed
- * copies).
+ * copies). --json writes a machine-readable per-arch report (uploaded
+ * as a CI artifact) whether or not the checks pass.
  */
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "proto/spec.hh"
 #include "proto/spec_check.hh"
@@ -38,6 +43,70 @@ writeFile(const std::string &path, const std::string &content)
     return f.good();
 }
 
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+struct ArchReport
+{
+    std::string name;
+    int transitions = 0;
+    pimdsm::spec::CheckReport report;
+};
+
+/** Deterministic JSON rendering of the full check run. */
+std::string
+renderJson(const std::vector<ArchReport> &archs, int totalTransitions,
+           bool ok)
+{
+    using pimdsm::spec::violationKindName;
+    std::ostringstream os;
+    os << "{\n  \"ok\": " << (ok ? "true" : "false")
+       << ",\n  \"totalTransitions\": " << totalTransitions
+       << ",\n  \"roles\": " << pimdsm::spec::kNumRoles
+       << ",\n  \"msgTypes\": " << pimdsm::kNumMsgTypes
+       << ",\n  \"archs\": {\n";
+    for (std::size_t i = 0; i < archs.size(); ++i) {
+        const ArchReport &a = archs[i];
+        os << "    \"" << a.name << "\": {\n      \"ok\": "
+           << (a.report.ok() ? "true" : "false")
+           << ",\n      \"transitions\": " << a.transitions
+           << ",\n      \"violations\": [";
+        for (std::size_t v = 0; v < a.report.violations.size(); ++v) {
+            const auto &viol = a.report.violations[v];
+            os << (v ? "," : "") << "\n        {\"kind\": \""
+               << violationKindName(viol.kind) << "\", \"where\": \""
+               << jsonEscape(viol.where) << "\", \"detail\": \""
+               << jsonEscape(viol.detail) << "\"}";
+        }
+        if (!a.report.violations.empty())
+            os << "\n      ";
+        os << "]\n    }" << (i + 1 < archs.size() ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+    return os.str();
+}
+
 } // namespace
 
 int
@@ -47,15 +116,18 @@ main(int argc, char **argv)
 
     std::string mdPath;
     std::string dotPath;
+    std::string jsonPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--md" && i + 1 < argc) {
             mdPath = argv[++i];
         } else if (arg == "--dot" && i + 1 < argc) {
             dotPath = argv[++i];
+        } else if (arg == "--json" && i + 1 < argc) {
+            jsonPath = argv[++i];
         } else if (arg == "-h" || arg == "--help") {
             std::cout << "usage: pimdsm-protocheck [--md PATH] "
-                         "[--dot PATH]\n";
+                         "[--dot PATH] [--json PATH]\n";
             return 0;
         } else {
             std::cerr << "protocheck: unknown argument '" << arg
@@ -68,6 +140,7 @@ main(int argc, char **argv)
 
     bool ok = true;
     int transitions = 0;
+    std::vector<ArchReport> archReports;
     for (ArchKind arch :
          {ArchKind::Agg, ArchKind::Coma, ArchKind::Numa}) {
         const MachineConfig cfg = makeBaseConfig(arch);
@@ -90,10 +163,18 @@ main(int argc, char **argv)
                       << rep.violations.size() << " violation(s)\n"
                       << rep.toString();
         }
+        archReports.push_back({archName(arch), n, rep});
     }
     std::cout << "total: " << transitions << " transitions across "
               << spec::kNumRoles << " roles, " << kNumMsgTypes
               << " message types\n";
+
+    if (!jsonPath.empty()) {
+        if (!writeFile(jsonPath,
+                       renderJson(archReports, transitions, ok)))
+            return 2;
+        std::cout << "wrote " << jsonPath << "\n";
+    }
 
     if (!mdPath.empty()) {
         const MachineConfig cfg = makeBaseConfig(ArchKind::Agg);
