@@ -13,13 +13,25 @@
  *  - "fig6": one Figure-6 point (fft on AGG at the paper's thread
  *    count) — the representative paper experiment.
  *
+ * A fourth group runs the fig6 point under the windowed parallel
+ * kernel at 1/2/4/8 shards (threads capped at the host's core count)
+ * to track sharded-kernel scaling.
+ *
  * Each reports events executed, wall-clock seconds, events/second, and
- * process peak RSS. Emits BENCH_selfperf.json for CI trend tracking
- * (see .github/workflows/perf.yml) and tools/benchsweep.
+ * per-workload peak RSS (the kernel's peak-RSS watermark is reset
+ * between workloads via /proc/self/clear_refs, so rows are
+ * independent; on kernels without clear_refs the value degrades to the
+ * monotone process-wide peak). Emits BENCH_selfperf.json for CI trend
+ * tracking (see .github/workflows/perf.yml) and tools/benchsweep.
  *
  * Usage: bench_selfperf [--quick] [--kernel=calendar|heap]
+ *                       [--baseline PATH] [--drift F]
  * (--quick is implied by PIMDSM_QUICK; --kernel selects the scheduler
- * for the stress workload and the default for machine runs.)
+ * for the stress workload and the default for machine runs.
+ * --baseline compares events/sec per workload against a committed
+ * BENCH_selfperf.json and exits 1 on any slowdown beyond --drift
+ * (default 0.25); setting PIMDSM_PERF_WAIVE=1 downgrades that failure
+ * to a warning for known-noisy hosts.)
  */
 
 #include "bench_util.hh"
@@ -29,7 +41,9 @@
 #include <cstring>
 #include <functional>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/resource.h>
@@ -53,9 +67,34 @@ struct SelfPerfRow
     long peakRssKb = 0;
 };
 
+/**
+ * Reset the kernel's peak-RSS watermark so the next peakRssKb() read
+ * reflects only the workload run since this call. Writing "5" to
+ * clear_refs sets VmHWM to the current VmRSS; a failure (no procfs,
+ * old kernel) is harmless — rows then report the process-wide peak,
+ * which is what this bench always reported before.
+ */
+void
+resetPeakRss()
+{
+    std::ofstream f("/proc/self/clear_refs");
+    if (f)
+        f << "5";
+}
+
 long
 peakRssKb()
 {
+    // Prefer VmHWM (resettable per workload); fall back to getrusage.
+    std::ifstream st("/proc/self/status");
+    std::string line;
+    while (std::getline(st, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            long kb = 0;
+            if (std::sscanf(line.c_str(), "VmHWM: %ld kB", &kb) == 1)
+                return kb;
+        }
+    }
     struct rusage ru{};
     getrusage(RUSAGE_SELF, &ru);
     return ru.ru_maxrss; // kilobytes on Linux
@@ -78,6 +117,7 @@ secondsSince(Clock::time_point t0)
 SelfPerfRow
 runStress(std::uint64_t total, EventQueue::KernelKind kind)
 {
+    resetPeakRss();
     EventQueue eq(kind);
     Rng rng(0x5e1f9e4full);
     std::uint64_t scheduled = 0;
@@ -134,6 +174,7 @@ runStress(std::uint64_t total, EventQueue::KernelKind kind)
 SelfPerfRow
 runFaultCampaign()
 {
+    resetPeakRss();
     auto wl = makeWorkload("fft", 1);
     BuildSpec spec;
     spec.arch = ArchKind::Agg;
@@ -167,6 +208,7 @@ runFaultCampaign()
 SelfPerfRow
 runFig6Point()
 {
+    resetPeakRss();
     auto wl = makeWorkload("fft", 1);
     const RunResult r = run(*wl, ArchKind::Agg, paperThreads(), 0.25,
                             reducedDRatio("fft"));
@@ -179,6 +221,65 @@ runFig6Point()
     return row;
 }
 
+/**
+ * The fig6 point under the windowed parallel kernel. Worker threads
+ * are capped at the host's core count: extra threads on an
+ * oversubscribed host only add contention and would misreport the
+ * kernel's scaling.
+ */
+SelfPerfRow
+runShardedFig6(int shards)
+{
+    resetPeakRss();
+    const unsigned hw =
+        std::max(1u, std::thread::hardware_concurrency());
+    const int threads =
+        std::min(shards, static_cast<int>(hw));
+
+    auto wl = makeWorkload("fft", 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = paperThreads();
+    spec.pressure = 0.25;
+    spec.dRatio = reducedDRatio("fft");
+    MachineConfig cfg = buildConfig(*wl, spec);
+    cfg.shards.count = shards;
+    cfg.shards.threads = threads;
+
+    const auto t0 = Clock::now();
+    const RunResult r = runWorkload(cfg, *wl);
+    const double secs = secondsSince(t0);
+
+    SelfPerfRow row;
+    row.name = "fig6_shards" + std::to_string(shards);
+    row.events = static_cast<std::uint64_t>(
+        r.counters.at("sim.events_executed"));
+    row.wallSeconds = secs;
+    row.eventsPerSec =
+        secs > 0 ? static_cast<double>(row.events) / secs : 0;
+    row.peakRssKb = peakRssKb();
+    return row;
+}
+
+/** Pull events_per_sec for @p workload out of a committed
+ *  BENCH_selfperf.json (same hand-rolled lookup as speccheck: we own
+ *  both ends of the format). */
+bool
+baselineEventsPerSec(const std::string &json,
+                     const std::string &workload, double &out)
+{
+    const std::string tag = "\"workload\": \"" + workload + "\"";
+    std::size_t p = json.find(tag);
+    if (p == std::string::npos)
+        return false;
+    const std::string key = "\"events_per_sec\":";
+    p = json.find(key, p);
+    if (p == std::string::npos)
+        return false;
+    out = std::strtod(json.c_str() + p + key.size(), nullptr);
+    return out > 0;
+}
+
 } // namespace
 
 int
@@ -186,16 +287,24 @@ main(int argc, char **argv)
 {
     bool quick = std::getenv("PIMDSM_QUICK") != nullptr;
     EventQueue::KernelKind kind = EventQueue::defaultKind();
+    std::string baselinePath;
+    double drift = 0.25;
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--quick") == 0) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
             quick = true;
-        } else if (std::strcmp(argv[i], "--kernel=heap") == 0) {
+        } else if (arg == "--kernel=heap") {
             kind = EventQueue::KernelKind::ReferenceHeap;
-        } else if (std::strcmp(argv[i], "--kernel=calendar") == 0) {
+        } else if (arg == "--kernel=calendar") {
             kind = EventQueue::KernelKind::Calendar;
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--drift" && i + 1 < argc) {
+            drift = std::stod(argv[++i]);
         } else {
             std::cerr << "usage: bench_selfperf [--quick] "
-                         "[--kernel=calendar|heap]\n";
+                         "[--kernel=calendar|heap] [--baseline PATH] "
+                         "[--drift F]\n";
             return 2;
         }
     }
@@ -226,11 +335,16 @@ main(int argc, char **argv)
                 : 0;
         rows.push_back(fig6);
     }
+    for (int shards : {1, 2, 4, 8})
+        rows.push_back(runShardedFig6(shards));
+    std::cout << "host cores for sharded rows: "
+              << std::max(1u, std::thread::hardware_concurrency())
+              << "\n\n";
 
-    std::cout << "workload       events      wall(s)     events/sec"
+    std::cout << "workload           events      wall(s)     events/sec"
                  "   peakRSS(MB)\n";
     for (const auto &r : rows) {
-        std::printf("%-10s %10llu %10.3f %14.0f %10.1f\n",
+        std::printf("%-14s %10llu %10.3f %14.0f %10.1f\n",
                     r.name.c_str(),
                     static_cast<unsigned long long>(r.events),
                     r.wallSeconds, r.eventsPerSec,
@@ -253,7 +367,53 @@ main(int argc, char **argv)
            << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     js << "  ]\n}\n";
+    js.close(); // flush before the gate below possibly re-reads it
     std::cout << "\nwrote BENCH_selfperf.json (" << rows.size()
               << " workloads)\n";
+
+    if (!baselinePath.empty()) {
+        std::ifstream f(baselinePath, std::ios::binary);
+        if (!f) {
+            std::cerr << "bench_selfperf: cannot read " << baselinePath
+                      << "\n";
+            return 2;
+        }
+        std::ostringstream os;
+        os << f.rdbuf();
+        const std::string baseline = os.str();
+        const bool waived =
+            std::getenv("PIMDSM_PERF_WAIVE") != nullptr;
+        bool regressed = false;
+        for (const auto &r : rows) {
+            double want = 0;
+            if (!baselineEventsPerSec(baseline, r.name, want)) {
+                std::cout << "baseline: no row for '" << r.name
+                          << "', skipping\n";
+                continue;
+            }
+            const double floor = want * (1.0 - drift);
+            if (r.eventsPerSec < floor) {
+                std::cerr << "bench_selfperf: '" << r.name
+                          << "' regressed: " << r.eventsPerSec
+                          << " events/sec vs baseline " << want
+                          << " (allowed -" << drift * 100 << "%)\n";
+                regressed = true;
+            } else {
+                std::cout << "baseline: '" << r.name << "' ok ("
+                          << r.eventsPerSec << " vs " << want << ")\n";
+            }
+        }
+        if (regressed) {
+            if (waived) {
+                std::cerr << "bench_selfperf: regression WAIVED via "
+                             "PIMDSM_PERF_WAIVE\n";
+            } else {
+                std::cerr << "bench_selfperf: FAIL (set "
+                             "PIMDSM_PERF_WAIVE=1 to override on "
+                             "known-noisy hosts)\n";
+                return 1;
+            }
+        }
+    }
     return 0;
 }

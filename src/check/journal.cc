@@ -1,0 +1,167 @@
+#include "check/journal.hh"
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+void
+ShardOracleJournal::noteMessage(Tick now, const Message &msg)
+{
+    Entry e;
+    e.kind = Entry::Kind::Message;
+    e.tick = now;
+    e.key = msg.dst;
+    e.msg = msg;
+    entries_.push_back(std::move(e));
+}
+
+void
+ShardOracleJournal::noteNodeState(Tick now, NodeId node, Addr line,
+                                  CohState st, Version v,
+                                  const char *why)
+{
+    Entry e;
+    e.kind = Entry::Kind::NodeState;
+    e.tick = now;
+    e.key = node;
+    e.node = node;
+    e.line = line;
+    e.st = st;
+    e.version = v;
+    e.why = why;
+    entries_.push_back(std::move(e));
+}
+
+void
+ShardOracleJournal::noteNodeWipe(Tick now, NodeId node, const char *why)
+{
+    Entry e;
+    e.kind = Entry::Kind::NodeWipe;
+    e.tick = now;
+    e.key = node;
+    e.node = node;
+    e.why = why;
+    entries_.push_back(std::move(e));
+}
+
+void
+ShardOracleJournal::noteDirEntry(Tick now, NodeId home, Addr line,
+                                 const DirEntry &de)
+{
+    Entry e;
+    e.kind = Entry::Kind::DirEntryChange;
+    e.tick = now;
+    e.key = home;
+    e.node = home;
+    e.line = line;
+    e.dir = de;
+    entries_.push_back(std::move(e));
+}
+
+void
+ShardOracleJournal::noteWriteCommit(Tick, Addr, Version)
+{
+    panic("ShardOracleJournal::noteWriteCommit needs a home key; "
+          "record through recordWriteCommit");
+}
+
+void
+ShardOracleJournal::recordWriteCommit(Tick now, NodeId home, Addr line,
+                                      Version v)
+{
+    Entry e;
+    e.kind = Entry::Kind::WriteCommit;
+    e.tick = now;
+    e.key = home;
+    e.line = line;
+    e.version = v;
+    entries_.push_back(std::move(e));
+}
+
+void
+ShardOracleJournal::noteReadObserved(Tick now, NodeId node, Addr line,
+                                     Version observed, Tick issue_tick)
+{
+    Entry e;
+    e.kind = Entry::Kind::ReadObserved;
+    e.tick = now;
+    e.key = node;
+    e.node = node;
+    e.line = line;
+    e.version = observed;
+    e.issueTick = issue_tick;
+    entries_.push_back(std::move(e));
+}
+
+void
+ShardOracleJournal::noteSlotEvent(Tick now, NodeId home, Addr line,
+                                  std::uint32_t slot, const char *what)
+{
+    Entry e;
+    e.kind = Entry::Kind::SlotEvent;
+    e.tick = now;
+    e.key = home;
+    e.node = home;
+    e.line = line;
+    e.slot = slot;
+    e.why = what;
+    entries_.push_back(std::move(e));
+}
+
+void
+ShardOracleJournal::noteFailover(Tick now, NodeId dead_home,
+                                 NodeId new_home)
+{
+    Entry e;
+    e.kind = Entry::Kind::Failover;
+    e.tick = now;
+    e.key = dead_home;
+    e.node = dead_home;
+    e.node2 = new_home;
+    entries_.push_back(std::move(e));
+}
+
+std::vector<ShardOracleJournal::Entry>
+ShardOracleJournal::take()
+{
+    std::vector<Entry> out;
+    out.swap(entries_);
+    return out;
+}
+
+void
+ShardOracleJournal::replayEntry(CoherenceOracle &real, const Entry &e)
+{
+    switch (e.kind) {
+      case Entry::Kind::Message:
+        real.noteMessage(e.tick, e.msg);
+        return;
+      case Entry::Kind::NodeState:
+        real.noteNodeState(e.tick, e.node, e.line, e.st, e.version,
+                           e.why.c_str());
+        return;
+      case Entry::Kind::NodeWipe:
+        real.noteNodeWipe(e.tick, e.node, e.why.c_str());
+        return;
+      case Entry::Kind::DirEntryChange:
+        real.noteDirEntry(e.tick, e.node, e.line, e.dir);
+        return;
+      case Entry::Kind::WriteCommit:
+        real.noteWriteCommit(e.tick, e.line, e.version);
+        return;
+      case Entry::Kind::ReadObserved:
+        real.noteReadObserved(e.tick, e.node, e.line, e.version,
+                              e.issueTick);
+        return;
+      case Entry::Kind::SlotEvent:
+        real.noteSlotEvent(e.tick, e.node, e.line, e.slot,
+                           e.why.c_str());
+        return;
+      case Entry::Kind::Failover:
+        real.noteFailover(e.tick, e.node, e.node2);
+        return;
+    }
+}
+
+} // namespace pimdsm

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Per-shard oracle journal for the windowed parallel kernel.
+ *
+ * The CoherenceOracle is a single machine-wide shadow model, so shard
+ * threads cannot feed it directly. Instead the Machine hands each
+ * shard a ShardOracleJournal: every note* hook records its arguments
+ * (with a canonical ordering key) into a shard-local buffer, and at
+ * the window barrier the Machine concatenates the buffers in shard
+ * order, stable-sorts them by (tick, key), and replays them into the
+ * real oracle serially.
+ *
+ * The ordering key is the node whose execution produced the event
+ * (destination for message deliveries, the holder for node-state
+ * changes, the home for directory/slot/commit events). A node lives on
+ * exactly one shard and its same-tick events sit in one buffer in
+ * program order, so the stable sort yields the same replay sequence
+ * for every shard count and thread count — which is what makes the
+ * oracle's end state, and any violation counts, differential-testable
+ * across kernel configurations.
+ */
+
+#ifndef PIMDSM_CHECK_JOURNAL_HH
+#define PIMDSM_CHECK_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/oracle.hh"
+#include "proto/message.hh"
+
+namespace pimdsm
+{
+
+class ShardOracleJournal final : public CoherenceOracle
+{
+  public:
+    struct Entry
+    {
+        enum class Kind : std::uint8_t
+        {
+            Message,
+            NodeState,
+            NodeWipe,
+            DirEntryChange,
+            WriteCommit,
+            ReadObserved,
+            SlotEvent,
+            Failover,
+        };
+
+        Kind kind = Kind::Message;
+        Tick tick = 0;
+        /** Canonical ordering key: the node whose execution produced
+         *  the event. */
+        NodeId key = kInvalidNode;
+
+        Message msg;
+        NodeId node = kInvalidNode;
+        NodeId node2 = kInvalidNode;
+        Addr line = 0;
+        CohState st = CohState::Invalid;
+        Version version = 0;
+        Tick issueTick = 0;
+        std::uint32_t slot = 0;
+        std::string why;
+        DirEntry dir;
+    };
+
+    // --- recording (called from shard threads, shard-local) ---------
+    void noteMessage(Tick now, const Message &msg) override;
+    void noteNodeState(Tick now, NodeId node, Addr line, CohState st,
+                       Version v, const char *why) override;
+    void noteNodeWipe(Tick now, NodeId node, const char *why) override;
+    void noteDirEntry(Tick now, NodeId home, Addr line,
+                      const DirEntry &e) override;
+    void noteWriteCommit(Tick now, Addr line, Version v) override;
+    void noteReadObserved(Tick now, NodeId node, Addr line,
+                          Version observed, Tick issue_tick) override;
+    void noteSlotEvent(Tick now, NodeId home, Addr line,
+                       std::uint32_t slot, const char *what) override;
+    void noteFailover(Tick now, NodeId dead_home,
+                      NodeId new_home) override;
+
+    /**
+     * Keyed write-commit record. The plain noteWriteCommit hook has no
+     * node argument, so the Machine (its only caller) records commits
+     * through this, keyed by the line's home.
+     */
+    void recordWriteCommit(Tick now, NodeId home, Addr line, Version v);
+
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty(); }
+
+    /** Move the recorded entries out (leaves the journal empty). */
+    std::vector<Entry> take();
+
+    /** Apply @p e to the real oracle @p real. */
+    static void replayEntry(CoherenceOracle &real, const Entry &e);
+
+  private:
+    std::vector<Entry> entries_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_CHECK_JOURNAL_HH

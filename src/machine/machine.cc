@@ -1,5 +1,7 @@
 #include "machine/machine.hh"
 
+#include <algorithm>
+#include <iterator>
 #include <sstream>
 #include <vector>
 
@@ -8,6 +10,23 @@
 
 namespace pimdsm
 {
+
+thread_local Machine::MachineShard *Machine::curShard_ = nullptr;
+
+namespace
+{
+
+/** splitmix64 finalizer: page number -> well-spread placement hash. */
+std::uint64_t
+mixPage(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
 
 Machine::Machine(const MachineConfig &cfg)
     : cfg_(cfg), mesh_(eq_, cfg.net, cfg.totalNodes()),
@@ -24,6 +43,18 @@ Machine::Machine(const MachineConfig &cfg)
         mesh_.setFaultPlan(&faults_);
     mesh_.setStats(&stats_);
     oracle_.init(cfg_.check, cfg_.faults.enabled(), &stats_);
+
+    if (cfg_.shards.enabled()) {
+        windowed_ = true;
+        int s = std::min(cfg_.shards.count, cfg_.totalNodes());
+        if (s < 1)
+            s = 1;
+        shards_.reserve(static_cast<std::size_t>(s));
+        for (int i = 0; i < s; ++i)
+            shards_.push_back(std::make_unique<MachineShard>());
+        mesh_.setDeliverySink(this);
+        pageMap_.setThreadSafe(true);
+    }
 
     if (cfg_.arch == ArchKind::Agg)
         buildAgg();
@@ -142,7 +173,13 @@ Machine::homeOf(Addr line_addr, NodeId toucher)
         return mapped;
 
     NodeId home;
-    if (cfg_.arch == ArchKind::Agg) {
+    if (windowed_) {
+        // Shard threads race on first touch, so placement must be a
+        // pure function of the page: both racers compute the same home
+        // and the double assign is idempotent. (Round-robin/first-touch
+        // order would depend on the window interleaving.)
+        home = hashPlacement(line_addr);
+    } else if (cfg_.arch == ArchKind::Agg) {
         // First touch maps the page at a D-node; spread pages across
         // the directory nodes round-robin.
         const auto dnodes = directoryNodes();
@@ -157,6 +194,22 @@ Machine::homeOf(Addr line_addr, NodeId toucher)
     return home;
 }
 
+NodeId
+Machine::hashPlacement(Addr line_addr)
+{
+    // Candidate homes: directory nodes on AGG, every (Both-role) node
+    // on NUMA/COMA. Dead nodes are excluded, and deaths only happen at
+    // window barriers, so the candidate list is stable inside a window.
+    const auto candidates = cfg_.arch == ArchKind::Agg
+                                ? directoryNodes()
+                                : computeNodes();
+    if (candidates.empty())
+        panic("no live candidate homes for page placement");
+    const std::uint64_t h = mixPage(
+        static_cast<std::uint64_t>(pageMap_.pageOf(line_addr)));
+    return candidates[h % candidates.size()];
+}
+
 void
 Machine::send(Message msg)
 {
@@ -166,7 +219,7 @@ Machine::send(Message msg)
     // Fail-stop: a dead node emits nothing (events queued before the
     // death still fire, so the send side must filter too).
     if (isDead(msg.src)) {
-        stats_.add("fault.msg_from_dead");
+        stats().add("fault.msg_from_dead");
         return;
     }
 
@@ -175,6 +228,28 @@ Machine::send(Message msg)
     // whatever order the current schedule dictates.
     if (interceptor_ && interceptor_(msg))
         return;
+
+    if (windowed_) {
+        if (curShard_) {
+            if (msg.src == msg.dst) {
+                // On-chip: stays inside the shard, no synchronization.
+                auto deliver = [this,
+                                h = curShard_->pool.make(std::move(msg))] {
+                    deliverDirect(h.get());
+                };
+                curShard_->eq.scheduleIn(1, std::move(deliver));
+            } else {
+                // Cross-node: park; the barrier commits all shards'
+                // sends serially in (tick, src) order.
+                curShard_->sends.push_back(ParkedSend{
+                    curShard_->eq.curTick(), std::move(msg)});
+            }
+        } else {
+            // Serial phase (barrier-time fault handling and the like).
+            commitSend(eq_.curTick(), std::move(msg));
+        }
+        return;
+    }
 
     const NodeId src = msg.src;
     const NodeId dst = msg.dst;
@@ -197,17 +272,53 @@ Machine::send(Message msg)
 }
 
 void
+Machine::commitSend(Tick t, Message msg)
+{
+    const NodeId src = msg.src;
+    const NodeId dst = msg.dst;
+    const int payload = msg.payloadBytes(cfg_.mem.lineBytes);
+    const MsgClass cls = msgClassOf(msg.type);
+
+    // The payload lives in the destination shard's pool: the delivery
+    // runs (and the slot frees) on that shard's thread, and allocation
+    // here happens in the serial barrier phase, so the pool is only
+    // ever touched by one thread at a time.
+    MachineShard *dsh = shards_[shardOf(dst)].get();
+    auto deliver = [this, h = dsh->pool.make(std::move(msg))] {
+        deliverDirect(h.get());
+    };
+
+    if (src == dst) {
+        dsh->eq.schedule(t + 1, std::move(deliver));
+        return;
+    }
+    mesh_.setCommitTime(t);
+    mesh_.send(src, dst, payload, std::move(deliver), cls);
+}
+
+void
+Machine::meshDeliver(Tick when, NodeId dst, InlineCallback deliver)
+{
+    if (when < windowEnd_)
+        panic("mesh delivery at tick " + std::to_string(when) +
+              " inside the lookahead horizon (window ends at " +
+              std::to_string(windowEnd_) +
+              "): cross-node latency fell below the safe window");
+    shards_[shardOf(dst)]->eq.schedule(when, std::move(deliver));
+}
+
+void
 Machine::deliverDirect(const Message &msg)
 {
     if (isDead(msg.dst)) {
         // Died while the message was in flight.
-        stats_.add("fault.msg_to_dead");
+        stats().add("fault.msg_to_dead");
         return;
     }
-    if (oracle_.enabled())
-        oracle_.noteMessage(eq_.curTick(), msg);
+    if (CoherenceOracle *chk = checker())
+        chk->noteMessage(nowTick(), msg);
     if (Trace::enabled("proto"))
-        Trace::print(eq_.curTick(), "proto", msg.toString());
+        Trace::print(nowTick(), "proto", msg.toString());
     if (msgBoundForHome(msg.type)) {
         if (!homes_[msg.dst])
             panic("home-bound message to a pure compute node: " +
@@ -224,9 +335,24 @@ Machine::deliverDirect(const Message &msg)
 Version
 Machine::bumpVersion(Addr line)
 {
-    const Version v = ++versions_[line];
-    if (oracle_.enabled())
-        oracle_.noteWriteCommit(eq_.curTick(), line, v);
+    Version v;
+    {
+        VersionStripe &s = versionStripe(line);
+        std::unique_lock<std::mutex> g(s.mu, std::defer_lock);
+        if (windowed_)
+            g.lock();
+        v = ++s.map[line];
+    }
+    if (oracle_.enabled()) {
+        if (curShard_) {
+            // The plain hook has no node argument; key the journal
+            // entry by the line's home (the committing controller).
+            curShard_->journal.recordWriteCommit(
+                nowTick(), pageMap_.homeOf(line), line, v);
+        } else {
+            oracle_.noteWriteCommit(eq_.curTick(), line, v);
+        }
+    }
     return v;
 }
 
@@ -244,8 +370,12 @@ Machine::computeNodeMask() const
 Version
 Machine::latestVersion(Addr line) const
 {
-    auto it = versions_.find(line);
-    return it == versions_.end() ? 0 : it->second;
+    const VersionStripe &s = versionStripe(line);
+    std::unique_lock<std::mutex> g(s.mu, std::defer_lock);
+    if (windowed_)
+        g.lock();
+    auto it = s.map.find(line);
+    return it == s.map.end() ? 0 : it->second;
 }
 
 LineCensus
@@ -338,6 +468,146 @@ void
 Machine::checkCoherenceQuiescent() const
 {
     checkQuiescentCoherence(*this);
+}
+
+// --- windowed parallel kernel ---------------------------------------
+
+void
+Machine::runShardWindow(int s, Tick begin, Tick end)
+{
+    (void)begin;
+    MachineShard *sh = shards_[static_cast<std::size_t>(s)].get();
+    curShard_ = sh;
+    // Events strictly below `end` belong to this window; anything a
+    // handler schedules at or past `end` waits for a later window.
+    sh->eq.runUntil(end - 1);
+    curShard_ = nullptr;
+}
+
+Tick
+Machine::shardNextTime(int s) const
+{
+    return shards_[static_cast<std::size_t>(s)]->eq.nextEventTick();
+}
+
+void
+Machine::commitWindow(Tick wend)
+{
+    windowEnd_ = wend;
+    // Keep the base clock in step: serial-phase work (fault events,
+    // reports) reads eq_.curTick().
+    eq_.runUntil(wend - 1);
+
+    // 1. Replay the shards' oracle journals. Stable sort by
+    //    (tick, key): a node's same-tick entries sit in one shard
+    //    buffer in program order, so the replay sequence is identical
+    //    for every shard and thread count.
+    if (oracle_.enabled()) {
+        journalScratch_.clear();
+        for (auto &sh : shards_) {
+            auto entries = sh->journal.take();
+            journalScratch_.insert(
+                journalScratch_.end(),
+                std::make_move_iterator(entries.begin()),
+                std::make_move_iterator(entries.end()));
+        }
+        std::stable_sort(
+            journalScratch_.begin(), journalScratch_.end(),
+            [](const ShardOracleJournal::Entry &a,
+               const ShardOracleJournal::Entry &b) {
+                if (a.tick != b.tick)
+                    return a.tick < b.tick;
+                return a.key < b.key;
+            });
+        for (const auto &e : journalScratch_)
+            ShardOracleJournal::replayEntry(oracle_, e);
+    }
+
+    // 2. Commit the parked cross-node sends in (tick, src) order; this
+    //    is where mesh link contention and fault decisions happen, all
+    //    on one thread, in an order no shard interleaving can change.
+    sendScratch_.clear();
+    for (auto &sh : shards_) {
+        sendScratch_.insert(sendScratch_.end(),
+                            std::make_move_iterator(sh->sends.begin()),
+                            std::make_move_iterator(sh->sends.end()));
+        sh->sends.clear();
+    }
+    std::stable_sort(sendScratch_.begin(), sendScratch_.end(),
+                     [](const ParkedSend &a, const ParkedSend &b) {
+                         if (a.tick != b.tick)
+                             return a.tick < b.tick;
+                         return a.msg.src < b.msg.src;
+                     });
+    for (auto &ps : sendScratch_)
+        commitSend(ps.tick, std::move(ps.msg));
+    sendScratch_.clear();
+
+    // 3. Run the deferred sync-manager bodies in (tick, node) order.
+    opScratch_.clear();
+    for (auto &sh : shards_) {
+        opScratch_.insert(opScratch_.end(),
+                          std::make_move_iterator(sh->ops.begin()),
+                          std::make_move_iterator(sh->ops.end()));
+        sh->ops.clear();
+    }
+    std::stable_sort(opScratch_.begin(), opScratch_.end(),
+                     [](const ParkedOp &a, const ParkedOp &b) {
+                         if (a.tick != b.tick)
+                             return a.tick < b.tick;
+                         return a.node < b.node;
+                     });
+    for (auto &op : opScratch_)
+        op.fn();
+    opScratch_.clear();
+
+    // Any serial-phase mesh traffic after this point (partition drains
+    // on link heals, barrier-time resends) is stamped with the barrier
+    // time.
+    mesh_.setCommitTime(wend);
+}
+
+void
+Machine::deferToBarrier(NodeId node, std::function<void()> fn)
+{
+    if (!curShard_) {
+        fn();
+        return;
+    }
+    curShard_->ops.push_back(
+        ParkedOp{curShard_->eq.curTick(), node, std::move(fn)});
+}
+
+void
+Machine::injectNextWindow(NodeId node, std::function<void()> fn)
+{
+    if (!windowed_) {
+        fn();
+        return;
+    }
+    if (curShard_)
+        panic("injectNextWindow called from inside a window");
+    shards_[static_cast<std::size_t>(shardOf(node))]->eq.schedule(
+        windowEnd_, [fn = std::move(fn)] { fn(); });
+}
+
+void
+Machine::mergeShardStats()
+{
+    for (auto &sh : shards_) {
+        for (const auto &[name, v] : sh->stats.all())
+            stats_.add(name, v);
+        sh->stats.clear();
+    }
+}
+
+std::uint64_t
+Machine::shardExecutedTotal() const
+{
+    std::uint64_t total = eq_.executed();
+    for (const auto &sh : shards_)
+        total += sh->eq.executed();
+    return total;
 }
 
 } // namespace pimdsm

@@ -8,10 +8,13 @@
 #ifndef PIMDSM_MACHINE_MACHINE_HH
 #define PIMDSM_MACHINE_MACHINE_HH
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "check/journal.hh"
 #include "check/oracle.hh"
 #include "machine/page_map.hh"
 #include "net/mesh.hh"
@@ -37,7 +40,7 @@ enum class NodeRole
     Both,       ///< NUMA/COMA node: compute + home on one chip
 };
 
-class Machine : public ProtoContext
+class Machine : public ProtoContext, public MeshDeliverySink
 {
   public:
     explicit Machine(const MachineConfig &cfg);
@@ -47,18 +50,27 @@ class Machine : public ProtoContext
     Machine &operator=(const Machine &) = delete;
 
     // --- ProtoContext ---
-    EventQueue &eq() override { return eq_; }
+    /** The executing shard's queue during a window; the base queue
+     *  otherwise (legacy mode and the serial barrier phase). */
+    EventQueue &eq() override { return curShard_ ? curShard_->eq : eq_; }
     const MachineConfig &config() const override { return cfg_; }
     NodeId homeOf(Addr line_addr, NodeId toucher) override;
     void send(Message msg) override;
     Version bumpVersion(Addr line) override;
     Version latestVersion(Addr line) const override;
-    StatSet &stats() override { return stats_; }
+    StatSet &stats() override
+    {
+        return curShard_ ? curShard_->stats : stats_;
+    }
     std::uint64_t computeNodeMask() const override;
     CoherenceOracle *
     checker() override
     {
-        return oracle_.enabled() ? &oracle_ : nullptr;
+        if (!oracle_.enabled())
+            return nullptr;
+        return curShard_ ? static_cast<CoherenceOracle *>(
+                               &curShard_->journal)
+                         : &oracle_;
     }
     bool nodeDead(NodeId n) const override { return isDead(n); }
 
@@ -161,11 +173,140 @@ class Machine : public ProtoContext
 
     std::uint64_t messagesSent() const { return mesh_.messagesSent(); }
 
+    // --- windowed parallel kernel (cfg.shards; see sim/shard.hh) -----
+    //
+    // The machine is partitioned into shards by node id (n % S). Each
+    // shard owns an event queue, a message pool, a stats block, and an
+    // oracle journal; shard threads run disjoint [W, W+L) windows where
+    // L = the minimum cross-node mesh latency. Cross-node sends are
+    // parked during the window and committed serially at the barrier in
+    // (tick, src) order, so results are identical for every shard and
+    // thread count (see DESIGN.md, "Parallel kernel & lookahead").
+
+    bool windowed() const { return windowed_; }
+    int numShards() const { return static_cast<int>(shards_.size()); }
+    int
+    shardOf(NodeId n) const
+    {
+        return static_cast<int>(n % static_cast<NodeId>(shards_.size()));
+    }
+    /** Conservative lookahead: no cross-shard effect lands sooner. */
+    Tick lookahead() const { return mesh_.minCrossNodeLatency(); }
+    /** Queue that drives @p n (shard queue when windowed). */
+    EventQueue &
+    eqFor(NodeId n)
+    {
+        return windowed_ ? shards_[shardOf(n)]->eq : eq_;
+    }
+
+    /** Run shard @p s's events in [begin, end) (shard thread). */
+    void runShardWindow(int s, Tick begin, Tick end);
+    /** Earliest pending event of shard @p s (kMaxTick if idle). */
+    Tick shardNextTime(int s) const;
+    /** Serial barrier: replay oracle journals, commit parked sends,
+     *  run deferred sync ops — all in canonical order. */
+    void commitWindow(Tick wend);
+
+    /** Park @p fn until the barrier ending the current window (run
+     *  immediately outside a window). Canonical key: (tick, node). */
+    void deferToBarrier(NodeId node, std::function<void()> fn);
+    /** Schedule @p fn on @p node's shard at the next window start
+     *  (serial phase only; runs immediately in legacy mode). */
+    void injectNextWindow(NodeId node, std::function<void()> fn);
+
+    /** Fold per-shard stats into the base StatSet (drains them). */
+    void mergeShardStats();
+    /** Events executed across the base queue and every shard queue. */
+    std::uint64_t shardExecutedTotal() const;
+
+    // --- MeshDeliverySink ---
+    void meshDeliver(Tick when, NodeId dst,
+                     InlineCallback deliver) override;
+
   private:
     void buildAgg();
     void buildNumaOrComa();
 
+    /** Deterministic (hash-by-page) placement used in windowed mode. */
+    NodeId hashPlacement(Addr line_addr);
+    /** Commit one parked cross-node send onto the mesh at time @p t. */
+    void commitSend(Tick t, Message msg);
+    /** Current simulated time as seen by the executing context. */
+    Tick nowTick() const
+    {
+        return curShard_ ? curShard_->eq.curTick() : eq_.curTick();
+    }
+
+    /** A cross-node message parked during a window. */
+    struct ParkedSend
+    {
+        Tick tick;
+        Message msg;
+    };
+
+    /** A deferred sync-manager body parked during a window. */
+    struct ParkedOp
+    {
+        Tick tick;
+        NodeId node;
+        std::function<void()> fn;
+    };
+
+    /**
+     * One simulation domain of the windowed kernel: the event queue,
+     * message pool, stats block, and oracle journal for the nodes with
+     * id % S == this shard. Only the owning shard thread touches any
+     * of it during a window; the serial barrier phase drains the
+     * parked buffers.
+     */
+    struct MachineShard
+    {
+        /** Pool declared before eq so still-scheduled delivery
+         *  closures release their handles first at destruction. */
+        RefPool<Message> pool;
+        EventQueue eq;
+        StatSet stats;
+        ShardOracleJournal journal;
+        std::vector<ParkedSend> sends;
+        std::vector<ParkedOp> ops;
+    };
+
+    /** Striped so shard threads bump/read line versions without a
+     *  global serialization point (locked only when windowed). */
+    struct VersionStripe
+    {
+        mutable std::mutex mu;
+        FlatMap<Addr, Version> map;
+    };
+    static constexpr int kVersionStripes = 16;
+    VersionStripe &
+    versionStripe(Addr line)
+    {
+        return versions_[(line >> 6) & (kVersionStripes - 1)];
+    }
+    const VersionStripe &
+    versionStripe(Addr line) const
+    {
+        return versions_[(line >> 6) & (kVersionStripes - 1)];
+    }
+
     MachineConfig cfg_;
+    /** Shard domains; declared first so everything that may hold
+     *  pooled message handles (mesh, base queue) dies before the
+     *  per-shard pools. Empty in legacy mode. */
+    std::vector<std::unique_ptr<MachineShard>> shards_;
+    /** Shard the calling thread is executing a window for (null on
+     *  the serial phase and in legacy mode). */
+    static thread_local MachineShard *curShard_;
+    bool windowed_ = false;
+    /** End of the last launched window = earliest tick the next
+     *  window (and any committed cross-shard delivery) may occupy. */
+    Tick windowEnd_ = 0;
+    /** Barrier-phase scratch (kept hot across windows). */
+    std::vector<ShardOracleJournal::Entry> journalScratch_;
+    std::vector<ParkedSend> sendScratch_;
+    std::vector<ParkedOp> opScratch_;
+
     /** In-flight message payloads; delivery closures capture a pooled
      *  handle instead of a Message copy. Declared before eq_ so it
      *  outlives any still-scheduled delivery events at destruction. */
@@ -176,7 +317,7 @@ class Machine : public ProtoContext
     std::vector<NodeRole> roles_;
     std::vector<std::unique_ptr<ComputeBase>> computes_;
     std::vector<std::unique_ptr<HomeBase>> homes_;
-    FlatMap<Addr, Version> versions_;
+    std::array<VersionStripe, kVersionStripes> versions_;
     StatSet stats_;
     std::uint64_t nextDNode_ = 0;
     FaultPlan faults_;

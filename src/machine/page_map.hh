@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -34,17 +35,29 @@ class PageMap
     /** Move one page to a new home (reconfiguration). */
     void remap(Addr page, NodeId new_home);
 
-    std::uint64_t numPages() const { return pages_.size(); }
+    std::uint64_t numPages() const;
 
-    /** Pages currently homed at @p node. */
+    /** Pages currently homed at @p node, in ascending page order
+     *  (deterministic regardless of hash-table iteration order). */
     std::vector<Addr> pagesHomedAt(NodeId node) const;
 
     void forEach(const std::function<void(Addr, NodeId)> &fn) const;
 
     void clear() { pages_.clear(); }
 
+    /**
+     * Guard lookups/assignments with an internal mutex. The windowed
+     * parallel kernel turns this on: shard threads race on first-touch
+     * lookups, and the (hash-based) placement they assign is
+     * idempotent, so a mutex around the table structure is all that is
+     * needed. Off (default) for the sequential kernel — no overhead.
+     */
+    void setThreadSafe(bool on) { threadSafe_ = on; }
+
   private:
     std::uint64_t pageBytes_;
+    bool threadSafe_ = false;
+    mutable std::mutex mu_;
     std::unordered_map<Addr, NodeId> pages_;
 };
 

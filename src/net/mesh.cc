@@ -270,7 +270,7 @@ Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver,
         ++partitionBlockedTotal_;
         if (stats_)
             stats_->add("fault.net.partition_blocked");
-        return eq_.curTick();
+        return sink_ ? commitNow_ : eq_.curTick();
     }
 
     FaultDecision fd;
@@ -285,7 +285,7 @@ Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver,
         send(src, dst, payload_bytes, deliver, MsgClass::Immune);
     }
 
-    const Tick now = eq_.curTick();
+    const Tick now = sink_ ? commitNow_ : eq_.curTick();
     const Tick ser = serTicks(payload_bytes);
     const Tick per_hop = params_.routerLatency + params_.wireLatency;
 
@@ -314,7 +314,10 @@ Mesh::send(NodeId src, NodeId dst, int payload_bytes, DeliverFn deliver,
         return arrival;
     }
 
-    eq_.schedule(arrival, std::move(deliver));
+    if (sink_)
+        sink_->meshDeliver(arrival, dst, std::move(deliver));
+    else
+        eq_.schedule(arrival, std::move(deliver));
     return arrival;
 }
 

@@ -30,6 +30,20 @@ namespace pimdsm
 
 class StatSet;
 
+/**
+ * Where a Mesh hands completed deliveries when it is not scheduling
+ * them itself. The windowed parallel kernel installs one so arrivals
+ * land in the destination node's shard queue (see machine/machine.cc);
+ * the legacy kernel schedules straight into the machine's EventQueue.
+ */
+class MeshDeliverySink
+{
+  public:
+    virtual ~MeshDeliverySink() = default;
+    virtual void meshDeliver(Tick when, NodeId dst,
+                             InlineCallback deliver) = 0;
+};
+
 class Mesh
 {
   public:
@@ -63,6 +77,33 @@ class Mesh
 
     /** Attach the machine's fault plan (nullptr detaches). */
     void setFaultPlan(FaultPlan *plan) { faults_ = plan; }
+
+    /**
+     * Windowed-kernel hookup: deliveries go to @p sink instead of the
+     * construction EventQueue, and send() reads "now" from the commit
+     * clock (setCommitTime) instead of that queue — the windowed
+     * kernel commits sends at a barrier, charging the links as of the
+     * tick each send was issued, not the barrier's wall time.
+     */
+    void setDeliverySink(MeshDeliverySink *sink) { sink_ = sink; }
+
+    /** Set the windowed commit clock (meaningful only with a sink). */
+    void setCommitTime(Tick now) { commitNow_ = now; }
+
+    /**
+     * Conservative lookahead: a lower bound on the latency of any
+     * cross-node message — two NI traversals, at least one
+     * router+wire hop, and the serialization of an empty payload.
+     * Contention, faults, longer paths, and real payloads only add to
+     * it, so a send issued at tick t cannot arrive before
+     * t + minCrossNodeLatency().
+     */
+    Tick
+    minCrossNodeLatency() const
+    {
+        return 2 * params_.niLatency + params_.routerLatency +
+               params_.wireLatency + serTicks(0);
+    }
 
     /** Attach a StatSet for link/partition fault accounting. */
     void setStats(StatSet *stats) { stats_ = stats; }
@@ -200,6 +241,9 @@ class Mesh
     int deadLinks_ = 0;
     FaultPlan *faults_ = nullptr;
     StatSet *stats_ = nullptr;
+    MeshDeliverySink *sink_ = nullptr;
+    /** send()'s "now" while a delivery sink is installed. */
+    Tick commitNow_ = 0;
     std::uint64_t messagesSent_ = 0;
     std::uint64_t bytesSent_ = 0;
     std::uint64_t partitionBlockedTotal_ = 0;

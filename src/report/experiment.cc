@@ -1,6 +1,7 @@
 #include "report/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -11,6 +12,7 @@
 #include "machine/reconfig.hh"
 #include "proto/stuck.hh"
 #include "sim/log.hh"
+#include "sim/shard.hh"
 
 namespace pimdsm
 {
@@ -69,6 +71,30 @@ buildFaultTimeline(const FaultConfig &fc)
     return ev;
 }
 
+/** ShardTask adapter: windows run on the Machine's shards; the serial
+ *  barrier work (commitWindow + fault timeline + event budget) is a
+ *  callback set by runWorkload, which owns that bookkeeping. */
+class MachineShardTask final : public ShardTask
+{
+  public:
+    explicit MachineShardTask(Machine &m) : m_(m) {}
+
+    std::function<bool(Tick)> onCommit;
+
+    void
+    runWindow(int shard, Tick begin, Tick end) override
+    {
+        m_.runShardWindow(shard, begin, end);
+    }
+
+    Tick nextTime(int shard) override { return m_.shardNextTime(shard); }
+
+    bool commit(Tick window_end) override { return onCommit(window_end); }
+
+  private:
+    Machine &m_;
+};
+
 } // namespace
 
 RunResult
@@ -79,8 +105,41 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
     cfg.l1.sizeBytes = wl.l1Bytes();
     cfg.l2.sizeBytes = wl.l2Bytes();
 
+    // Environment opt-in for the windowed parallel kernel: lets any
+    // driver (benches, chaos replay, CI) run multi-shard without
+    // plumbing a flag. Explicit cfg.shards settings win; runs that
+    // reconfigure stay on the legacy kernel.
+    if (!cfg.shards.enabled() && !cfg.reconfigurable &&
+        opts.reconfig.empty() && !opts.autoReconfig) {
+        if (const char *s = std::getenv("PIMDSM_SHARDS"))
+            cfg.shards.count = std::atoi(s);
+        if (const char *t = std::getenv("PIMDSM_SHARD_THREADS"))
+            cfg.shards.threads = std::atoi(t);
+    }
+
     Machine m(cfg);
     SyncManager sync(static_cast<int>(m.computeNodes().size()));
+
+    // Windowed parallel kernel: route the sync manager's global-state
+    // mutations through the barrier, and build the window engine. The
+    // lookahead is the machine's minimum cross-node mesh latency.
+    std::unique_ptr<ShardedEngine> engine;
+    MachineShardTask task(m);
+    if (m.windowed()) {
+        if (!opts.reconfig.empty() || opts.autoReconfig)
+            fatal("the windowed parallel kernel does not support "
+                  "reconfiguration runs");
+        SyncManager::WindowHooks hooks;
+        hooks.defer = [&m](NodeId n, std::function<void()> fn) {
+            m.deferToBarrier(n, std::move(fn));
+        };
+        hooks.inject = [&m](NodeId n, std::function<void()> fn) {
+            m.injectNextWindow(n, std::move(fn));
+        };
+        sync.setWindowHooks(std::move(hooks));
+        engine = std::make_unique<ShardedEngine>(
+            m.numShards(), cfg.shards.threads, m.lookahead());
+    }
 
     RunResult result;
 
@@ -185,10 +244,13 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
 
         std::vector<std::unique_ptr<Processor>> procs;
         procs.reserve(threads);
-        int done = 0;
+        // Completion callbacks fire on shard threads under the
+        // windowed kernel, hence the atomic.
+        std::atomic<int> done{0};
         for (int t = 0; t < threads; ++t) {
             procs.push_back(std::make_unique<Processor>(
-                m.eq(), *m.compute(compute_ids[t]), sync, t, cfg.proc));
+                m.eqFor(compute_ids[t]), *m.compute(compute_ids[t]),
+                sync, t, cfg.proc));
         }
         for (int t = 0; t < threads; ++t) {
             procs[t]->run(wl.makeStream(phase, t, threads),
@@ -200,6 +262,61 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         PhaseResult pr;
         pr.name = wl.phaseName(phase);
         pr.startTick = m.eq().curTick();
+
+        auto throw_watchdog = [&] {
+            m.dumpState(std::cerr);
+            for (int t = 0; t < threads; ++t) {
+                if (!procs[t]->finished())
+                    std::cerr << "thread " << t << " unfinished\n";
+            }
+            if (m.mesh().partitionBlocked() > 0) {
+                // Distinct from a protocol stall: the work is queued
+                // against a partition that never heals.
+                throw WatchdogError(
+                    "watchdog: phase '" + pr.name +
+                        "' blocked on an unhealed partition:\n" +
+                        m.stuckDiagnostic(),
+                    m.collectStuck(), m.mesh().partitionBlocked());
+            }
+            throw WatchdogError("watchdog: phase '" + pr.name +
+                                    "' stalled with work outstanding:\n" +
+                                    m.stuckDiagnostic(),
+                                m.collectStuck(), 0);
+        };
+
+        if (m.windowed()) {
+            const std::uint64_t exec_at_start = m.shardExecutedTotal();
+            task.onCommit = [&](Tick wend) {
+                m.commitWindow(wend);
+                fire_due_events();
+                if (m.shardExecutedTotal() - exec_at_start >
+                    opts.maxEventsPerPhase)
+                    panic("phase '" + pr.name +
+                          "' exceeded event budget");
+                return true;
+            };
+            while (true) {
+                engine->run(task);
+                // Every shard queue is idle. If threads still run (or
+                // trailing work is parked behind a partition), the only
+                // future work is the fault timeline — a failover or a
+                // heal revives retries — so fast-forward the serial
+                // clock to the next scheduled fault and fire it.
+                if (fev_idx < fevents.size() &&
+                    (done.load() < threads ||
+                     m.mesh().partitionBlocked() > 0)) {
+                    const Tick ft = std::max(fevents[fev_idx].tick,
+                                             m.eq().curTick() + 1);
+                    m.commitWindow(ft);
+                    fire_event(fevents[fev_idx++]);
+                    continue;
+                }
+                if (done.load() < threads)
+                    throw_watchdog();
+                break;
+            }
+            task.onCommit = nullptr;
+        } else {
 
         std::uint64_t events = 0;
         while (done < threads) {
@@ -215,25 +332,7 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
                     fire_event(fevents[fev_idx++]);
                     continue;
                 }
-                m.dumpState(std::cerr);
-                for (int t = 0; t < threads; ++t) {
-                    if (!procs[t]->finished())
-                        std::cerr << "thread " << t << " unfinished\n";
-                }
-                if (m.mesh().partitionBlocked() > 0) {
-                    // Distinct from a protocol stall: the work is
-                    // queued against a partition that never heals.
-                    throw WatchdogError(
-                        "watchdog: phase '" + pr.name +
-                            "' blocked on an unhealed partition:\n" +
-                            m.stuckDiagnostic(),
-                        m.collectStuck(), m.mesh().partitionBlocked());
-                }
-                throw WatchdogError(
-                    "watchdog: phase '" + pr.name +
-                        "' stalled with work outstanding:\n" +
-                        m.stuckDiagnostic(),
-                    m.collectStuck(), 0);
+                throw_watchdog();
             }
             fire_due_events();
             if (++events > opts.maxEventsPerPhase)
@@ -257,6 +356,8 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
             }
             break;
         }
+
+        } // legacy (non-windowed) phase loop
         cur_procs = nullptr;
         cur_ids = nullptr;
 
@@ -303,6 +404,9 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
                       static_cast<double>(fevents.size() - fev_idx));
     }
 
+    if (m.windowed())
+        m.mergeShardStats();
+
     result.totalTicks = m.eq().curTick();
     result.reads = m.aggregateReadStats();
     result.census = m.collectCensus();
@@ -321,8 +425,16 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         }
     }
     result.counters["home.engine_wait_ticks"] = engine_wait;
-    result.counters["sim.events_executed"] =
-        static_cast<double>(m.eq().executed());
+    result.counters["sim.events_executed"] = static_cast<double>(
+        m.windowed() ? m.shardExecutedTotal() : m.eq().executed());
+    if (m.windowed()) {
+        result.counters["sim.shards"] =
+            static_cast<double>(m.numShards());
+        result.counters["sim.threads"] =
+            static_cast<double>(engine->numThreads());
+        result.counters["sim.windows"] =
+            static_cast<double>(engine->windowsRun());
+    }
 
     const auto dnodes = m.directoryNodes();
     if (!dnodes.empty() && result.totalTicks > 0) {

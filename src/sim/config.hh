@@ -188,6 +188,32 @@ struct CheckConfig
     ProtoMutation mutation = ProtoMutation::None;
 };
 
+/**
+ * Parallel-kernel knobs: split the machine into per-node-group
+ * simulation shards driven under a conservative time-window protocol
+ * (see sim/shard.hh and DESIGN.md "Parallel kernel & lookahead").
+ */
+struct ShardConfig
+{
+    /**
+     * Number of simulation shards. 0 (default) selects the legacy
+     * single-queue sequential kernel, byte-for-byte unchanged. Any
+     * value >= 1 selects the windowed kernel; results are identical
+     * for every shard and thread count (1 shard on 1 thread is the
+     * sequential reference the differential tests compare against).
+     */
+    int count = 0;
+
+    /**
+     * Worker threads driving the shards. 0 = one per shard;
+     * 1 = execute every shard on the caller's thread (deterministic
+     * reference mode, also what the differential tests pin).
+     */
+    int threads = 0;
+
+    bool enabled() const { return count > 0; }
+};
+
 /** Complete description of one simulated machine. */
 struct MachineConfig
 {
@@ -247,6 +273,9 @@ struct MachineConfig
 
     /** Coherence-oracle knobs (inert by default; see src/check/). */
     CheckConfig check;
+
+    /** Parallel-kernel knobs (legacy sequential kernel by default). */
+    ShardConfig shards;
 
     /** Nodes in the machine (P + D). */
     int totalNodes() const { return numPNodes + numDNodes; }

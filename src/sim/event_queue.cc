@@ -116,6 +116,26 @@ EventQueue::schedule(Tick when, Callback fn)
         overflow_.push(n);
 }
 
+Tick
+EventQueue::nextEventTick() const
+{
+    if (size_ == 0)
+        return kMaxTick;
+    if (kind_ == KernelKind::ReferenceHeap)
+        return heap_.top().when;
+    // An event can sit in the overflow heap even when its tick is
+    // inside the ring window (scheduled below a migrated base_), so
+    // the earliest event is the min over both structures.
+    Tick best = kMaxTick;
+    if (bucketedCount_ > 0) {
+        std::size_t idx;
+        best = scanBuckets(idx)->when;
+    }
+    if (!overflow_.empty() && overflow_.top()->when < best)
+        best = overflow_.top()->when;
+    return best;
+}
+
 void
 EventQueue::migrateOverflow()
 {

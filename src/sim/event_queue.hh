@@ -81,6 +81,10 @@ class EventQueue
 
     bool empty() const { return size_ == 0; }
 
+    /** Timestamp of the earliest pending event (kMaxTick if empty).
+     *  Used by the windowed scheduler to pick the next window. */
+    Tick nextEventTick() const;
+
     /**
      * Execute the next event, advancing curTick to its time.
      * @retval false if the queue was empty.

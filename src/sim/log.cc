@@ -29,6 +29,14 @@ warnedSet()
     return s;
 }
 
+/** warn() can fire from shard threads under the windowed kernel. */
+std::mutex &
+warnMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
 std::set<std::string> &
 traceSet()
 {
@@ -41,8 +49,11 @@ traceSet()
 bool
 warn(const std::string &msg)
 {
-    if (!warnedSet().insert(msg).second)
-        return false;
+    {
+        std::lock_guard<std::mutex> g(warnMutex());
+        if (!warnedSet().insert(msg).second)
+            return false;
+    }
     std::fprintf(stderr, "pimdsm warn: %s\n", msg.c_str());
     return true;
 }
@@ -50,6 +61,7 @@ warn(const std::string &msg)
 void
 warnResetForTest()
 {
+    std::lock_guard<std::mutex> g(warnMutex());
     warnedSet().clear();
 }
 

@@ -1,0 +1,138 @@
+#include "sim/shard.hh"
+
+#include "sim/log.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace pimdsm
+{
+
+namespace
+{
+
+inline void
+cpuRelax()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    _mm_pause();
+#endif
+}
+
+/** Bounded spin, then yield: fast on dedicated cores, civil when the
+ *  host has fewer cores than workers. */
+template <typename Pred>
+void
+spinUntil(Pred done)
+{
+    int spins = 0;
+    while (!done()) {
+        if (++spins < 256) {
+            cpuRelax();
+        } else {
+            std::this_thread::yield();
+        }
+    }
+}
+
+} // namespace
+
+ShardedEngine::ShardedEngine(int shards, int threads, Tick lookahead)
+    : shards_(shards),
+      threads_(threads <= 0 ? shards
+                            : (threads < shards ? threads : shards)),
+      lookahead_(lookahead)
+{
+    if (shards_ < 1)
+        fatal("ShardedEngine needs at least one shard");
+    if (lookahead_ < 1)
+        fatal("ShardedEngine lookahead must be >= 1 tick");
+    // Worker w executes shards w, w+T, ...; worker 0 is the caller's
+    // thread, so only T-1 threads are spawned (none in reference mode).
+    for (int w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
+
+ShardedEngine::~ShardedEngine()
+{
+    shutdown_.store(true, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    for (auto &t : workers_)
+        t.join();
+}
+
+void
+ShardedEngine::runShardsOn(ShardTask &task, int worker, Tick begin,
+                           Tick end)
+{
+    for (int s = worker; s < shards_; s += threads_)
+        task.runWindow(s, begin, end);
+}
+
+void
+ShardedEngine::workerLoop(int worker)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        spinUntil([&] {
+            return gen_.load(std::memory_order_acquire) != seen;
+        });
+        seen = gen_.load(std::memory_order_acquire);
+        if (shutdown_.load(std::memory_order_relaxed))
+            return;
+        runShardsOn(*task_, worker, winBegin_, winEnd_);
+        // Release: publishes this worker's shard mutations to the
+        // barrier thread's subsequent acquire.
+        outstanding_.fetch_sub(1, std::memory_order_release);
+    }
+}
+
+void
+ShardedEngine::launchWindow(ShardTask &task, Tick begin, Tick end)
+{
+    if (threads_ == 1) {
+        runShardsOn(task, 0, begin, end);
+        return;
+    }
+    task_ = &task;
+    winBegin_ = begin;
+    winEnd_ = end;
+    outstanding_.store(threads_ - 1, std::memory_order_relaxed);
+    gen_.fetch_add(1, std::memory_order_release);
+    runShardsOn(task, 0, begin, end);
+    spinUntil([&] {
+        return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+}
+
+ShardedEngine::Stop
+ShardedEngine::run(ShardTask &task)
+{
+    for (;;) {
+        // Earliest pending work across shards decides the next window.
+        // The window grid is fixed at multiples of L from tick 0, so
+        // which windows exist never depends on shard count, thread
+        // count, or where a previous run() stopped — only on when the
+        // task has work.
+        Tick min_next = kMaxTick;
+        for (int s = 0; s < shards_; ++s) {
+            const Tick t = task.nextTime(s);
+            if (t < min_next)
+                min_next = t;
+        }
+        if (min_next == kMaxTick)
+            return Stop::Idle;
+        Tick begin = (min_next / lookahead_) * lookahead_;
+        if (begin < clock_)
+            begin = clock_;
+
+        launchWindow(task, begin, begin + lookahead_);
+        ++windows_;
+        clock_ = begin + lookahead_;
+        if (!task.commit(clock_))
+            return Stop::Requested;
+    }
+}
+
+} // namespace pimdsm

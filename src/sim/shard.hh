@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Conservative-window parallel simulation engine.
+ *
+ * A ShardedEngine drives S independent simulation shards in repeated
+ * time windows [W, W + L): every shard executes its own events for the
+ * window concurrently (one shard never touches another shard's state),
+ * then all shards meet at a barrier where a single serial commit step
+ * runs. L is the task's *lookahead* — a lower bound on the latency of
+ * any cross-shard interaction — so work produced inside a window can
+ * only become visible to another shard at or after the next window
+ * boundary. Handoffs are parked in per-shard outboxes during the
+ * window (single writer, no locks) and drained by the serial commit in
+ * a canonical order, which makes results independent of both the shard
+ * count and the worker-thread count (see DESIGN.md, "Parallel kernel &
+ * lookahead").
+ *
+ * Threading: the engine owns a pool of spinning workers; shard s is
+ * pinned to worker s % T. All cross-thread handoff is through two
+ * atomics (a window generation counter and an arrival count), so every
+ * pre-barrier write happens-before every post-barrier read — the shard
+ * state itself needs no locks. With threads == 1 the caller's thread
+ * executes every shard in order and no workers are spawned; a
+ * single-threaded run is the *reference* execution the multi-threaded
+ * one must reproduce exactly.
+ */
+
+#ifndef PIMDSM_SIM_SHARD_HH
+#define PIMDSM_SIM_SHARD_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+/**
+ * The workload a ShardedEngine drives. Implementations own the
+ * per-shard state (event queues, pools, stats) and the cross-shard
+ * outboxes; the engine only decides *when* each piece runs.
+ */
+class ShardTask
+{
+  public:
+    virtual ~ShardTask() = default;
+
+    /**
+     * Execute shard @p shard's events with timestamps in
+     * [@p begin, @p end). Called concurrently for different shards;
+     * must touch only shard-local state plus that shard's outboxes.
+     */
+    virtual void runWindow(int shard, Tick begin, Tick end) = 0;
+
+    /**
+     * Earliest pending event time of @p shard (kMaxTick when idle).
+     * Called from the serial barrier step only.
+     */
+    virtual Tick nextTime(int shard) = 0;
+
+    /**
+     * Serial barrier step after every window: drain outboxes in
+     * canonical order, schedule cross-shard deliveries (all of which
+     * the lookahead guarantees land at or after @p window_end), fire
+     * any global-timeline work due by @p window_end.
+     *
+     * @return false to stop the run (work may remain pending).
+     */
+    virtual bool commit(Tick window_end) = 0;
+};
+
+class ShardedEngine
+{
+  public:
+    /**
+     * @param shards     number of simulation domains (>= 1).
+     * @param threads    worker threads; 0 = one per shard, 1 = run
+     *                   everything on the caller's thread (reference
+     *                   mode). Clamped to [1, shards].
+     * @param lookahead  conservative window length L (>= 1): no
+     *                   cross-shard effect may take hold sooner than L
+     *                   ticks after it was initiated.
+     */
+    ShardedEngine(int shards, int threads, Tick lookahead);
+    ~ShardedEngine();
+
+    ShardedEngine(const ShardedEngine &) = delete;
+    ShardedEngine &operator=(const ShardedEngine &) = delete;
+
+    enum class Stop
+    {
+        Requested, ///< task.commit() returned false
+        Idle,      ///< every shard idle and the last commit added nothing
+    };
+
+    /**
+     * Run windows until the task stops the run or every shard goes
+     * idle. Resumable: a second call continues from the window clock
+     * the first one reached (the grid stays aligned to multiples of L
+     * from 0, so a run's window boundaries do not depend on where
+     * previous calls stopped).
+     */
+    Stop run(ShardTask &task);
+
+    int numShards() const { return shards_; }
+    int numThreads() const { return threads_; }
+    Tick lookahead() const { return lookahead_; }
+
+    /** End of the last committed window (the global window clock). */
+    Tick now() const { return clock_; }
+
+    /** Windows executed over this engine's lifetime. */
+    std::uint64_t windowsRun() const { return windows_; }
+
+  private:
+    void workerLoop(int worker);
+    void runShardsOn(ShardTask &task, int worker, Tick begin, Tick end);
+    void launchWindow(ShardTask &task, Tick begin, Tick end);
+
+    const int shards_;
+    const int threads_;
+    const Tick lookahead_;
+    Tick clock_ = 0;
+    std::uint64_t windows_ = 0;
+
+    // --- worker-pool handoff (all cross-thread state) ---------------
+    /** Bumped (release) to publish a new window; workers acquire. */
+    std::atomic<std::uint64_t> gen_{0};
+    /** Workers still executing the current window. */
+    std::atomic<int> outstanding_{0};
+    std::atomic<bool> shutdown_{false};
+    /** Window arguments, published before the gen_ bump. */
+    ShardTask *task_ = nullptr;
+    Tick winBegin_ = 0;
+    Tick winEnd_ = 0;
+
+    std::vector<std::thread> workers_;
+};
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_SHARD_HH

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Windowed parallel kernel tests.
+ *
+ * Three layers:
+ *  - ShardedEngine alone (toy task): window grid, the lookahead
+ *    horizon edge case, and thread-count independence.
+ *  - Machine-level stress driven manually through the engine: the
+ *    coherence oracle's end state must be identical for every shard
+ *    and thread count (the oracle itself is the witness — it panics on
+ *    any SWMR/version violation a data race would produce).
+ *  - Whole workloads through runWorkload: end-of-run stats, tick
+ *    counts, and a Figure-6-style formatted report must be identical
+ *    between the 1-shard reference and multi-shard runs, with and
+ *    without fault injection.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "machine/builder.hh"
+#include "machine/machine.hh"
+#include "report/experiment.hh"
+#include "report/report.hh"
+#include "sim/event_queue.hh"
+#include "sim/log.hh"
+#include "sim/random.hh"
+#include "sim/shard.hh"
+#include "workload/workload.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+// ===================================================== engine (toy) ==
+
+/**
+ * Self-contained task: each shard runs a chain of events that
+ * reschedules itself at a shard-specific stride and folds (shard,
+ * tick) into a checksum. No cross-shard traffic — this isolates the
+ * engine's windowing from the Machine's commit logic.
+ */
+class ToyTask final : public ShardTask
+{
+  public:
+    ToyTask(int shards, Tick horizon) : queues_(shards), sums_(shards)
+    {
+        for (int s = 0; s < shards; ++s) {
+            auto *q = &queues_[s];
+            auto *sum = &sums_[s];
+            const Tick stride = 3 + s;
+            queues_[s].schedule(static_cast<Tick>(s), [=] {
+                chain(q, sum, stride, horizon);
+            });
+        }
+    }
+
+    void
+    runWindow(int shard, Tick begin, Tick end) override
+    {
+        EXPECT_GE(queues_[shard].nextEventTick(), begin);
+        queues_[shard].runUntil(end - 1);
+    }
+
+    Tick nextTime(int shard) override
+    {
+        return queues_[shard].nextEventTick();
+    }
+
+    bool
+    commit(Tick window_end) override
+    {
+        lastCommit_ = window_end;
+        ++commits_;
+        return true;
+    }
+
+    std::uint64_t
+    checksum() const
+    {
+        std::uint64_t h = 0;
+        for (const auto &s : sums_)
+            h = h * 1000003 + s;
+        return h;
+    }
+
+    int commits_ = 0;
+    Tick lastCommit_ = 0;
+
+  private:
+    static void
+    chain(EventQueue *q, std::uint64_t *sum, Tick stride, Tick horizon)
+    {
+        *sum += static_cast<std::uint64_t>(q->curTick()) * 31 + 7;
+        if (q->curTick() + stride <= horizon) {
+            q->schedule(q->curTick() + stride,
+                        [=] { chain(q, sum, stride, horizon); });
+        }
+    }
+
+    std::vector<EventQueue> queues_;
+    std::vector<std::uint64_t> sums_;
+};
+
+TEST(ShardedEngine, RunsToIdleOnWindowGrid)
+{
+    ToyTask task(4, 1000);
+    ShardedEngine eng(4, 1, 50);
+    EXPECT_EQ(eng.run(task), ShardedEngine::Stop::Idle);
+    // Horizon 1000 with L=50: the last occupied window is [1000,1050).
+    EXPECT_EQ(eng.now() % 50, 0);
+    EXPECT_GE(eng.now(), 1000);
+    EXPECT_EQ(task.commits_, static_cast<int>(eng.windowsRun()));
+}
+
+TEST(ShardedEngine, ThreadCountDoesNotChangeResults)
+{
+    std::uint64_t ref_sum = 0;
+    std::uint64_t ref_windows = 0;
+    for (int threads : {1, 2, 4}) {
+        ToyTask task(4, 5000);
+        ShardedEngine eng(4, threads, 37);
+        EXPECT_EQ(eng.run(task), ShardedEngine::Stop::Idle);
+        if (threads == 1) {
+            ref_sum = task.checksum();
+            ref_windows = eng.windowsRun();
+            continue;
+        }
+        EXPECT_EQ(task.checksum(), ref_sum) << threads << " threads";
+        EXPECT_EQ(eng.windowsRun(), ref_windows)
+            << threads << " threads";
+    }
+}
+
+/**
+ * The lookahead horizon edge: an event scheduled at exactly the window
+ * end must run in the *next* window, never the current one.
+ */
+class HorizonTask final : public ShardTask
+{
+  public:
+    HorizonTask()
+    {
+        // First event at tick 0; its handler schedules a successor at
+        // exactly tick L (== the end of window [0, L)).
+        q_.schedule(0, [this] {
+            q_.schedule(kLookahead, [this] { ranAt_ = windowBegin_; });
+        });
+    }
+
+    static constexpr Tick kLookahead = 10;
+
+    void
+    runWindow(int, Tick begin, Tick end) override
+    {
+        windowBegin_ = begin;
+        q_.runUntil(end - 1);
+    }
+
+    Tick nextTime(int) override { return q_.nextEventTick(); }
+    bool commit(Tick) override { return true; }
+
+    Tick ranAt_ = -1;
+
+  private:
+    EventQueue q_;
+    Tick windowBegin_ = -1;
+};
+
+TEST(ShardedEngine, EventAtWindowEndRunsInNextWindow)
+{
+    HorizonTask task;
+    ShardedEngine eng(1, 1, HorizonTask::kLookahead);
+    EXPECT_EQ(eng.run(task), ShardedEngine::Stop::Idle);
+    // The successor sat at tick L and must have executed in the window
+    // beginning at L, not the one ending there.
+    EXPECT_EQ(task.ranAt_, HorizonTask::kLookahead);
+}
+
+// ========================================== machine-level stress ====
+
+MachineConfig
+stressCfg(ArchKind arch, int shards, int threads)
+{
+    MachineConfig cfg = makeBaseConfig(arch);
+    cfg.numPNodes = 8;
+    cfg.numThreads = 8;
+    cfg.numDNodes = arch == ArchKind::Agg ? 4 : 0;
+    cfg.pNodeMemBytes = 1 << 20;
+    cfg.dNodeMemBytes = 1 << 20;
+    cfg.l1 = CacheParams{512, 1, 64, 3};
+    cfg.l2 = CacheParams{2048, 1, 64, 6};
+    cfg.check.enabled = true; // strict oracle: races would panic
+    cfg.shards.count = shards;
+    cfg.shards.threads = threads;
+    fitMesh(cfg.net, cfg.totalNodes());
+    cfg.validate();
+    return cfg;
+}
+
+/** Random requester (same shape as test_stress.cc, windowed-safe:
+ *  completions run on the issuing node's shard, so the per-agent RNG
+ *  is only ever touched by that shard's thread). */
+class Agent
+{
+  public:
+    Agent(Machine &m, NodeId n, std::uint64_t seed, int total,
+          std::atomic<int> *done)
+        : m_(m), node_(n), rng_(seed), remaining_(total), done_(done)
+    {
+    }
+
+    void
+    issueNext()
+    {
+        if (remaining_-- == 0) {
+            done_->fetch_add(1);
+            return;
+        }
+        std::uint64_t idx = rng_.chance(0.5) ? rng_.nextBounded(8)
+                                             : rng_.nextBounded(64);
+        const Addr addr = (1ull << 20) + idx * 128 +
+                          rng_.nextBounded(2) * 64;
+        const bool write = rng_.chance(0.4);
+        m_.compute(node_)->access(addr, write,
+                                  [this](Tick, ReadService) {
+                                      m_.eq().scheduleIn(
+                                          1 + rng_.nextBounded(20),
+                                          [this] { issueNext(); });
+                                  });
+    }
+
+  private:
+    Machine &m_;
+    NodeId node_;
+    Rng rng_;
+    int remaining_;
+    std::atomic<int> *done_;
+};
+
+/** Drive the machine through the engine until every agent finishes
+ *  and the queues drain; return an oracle + stats digest. */
+class MachineTask final : public ShardTask
+{
+  public:
+    explicit MachineTask(Machine &m) : m_(m) {}
+
+    void
+    runWindow(int shard, Tick begin, Tick end) override
+    {
+        m_.runShardWindow(shard, begin, end);
+    }
+
+    Tick nextTime(int shard) override { return m_.shardNextTime(shard); }
+    bool
+    commit(Tick wend) override
+    {
+        m_.commitWindow(wend);
+        return true;
+    }
+
+  private:
+    Machine &m_;
+};
+
+std::string
+stressDigest(ArchKind arch, int shards, int threads)
+{
+    MachineConfig cfg = stressCfg(arch, shards, threads);
+    Machine m(cfg);
+    MachineTask task(m);
+    ShardedEngine eng(m.numShards(), cfg.shards.threads, m.lookahead());
+
+    std::atomic<int> done{0};
+    std::vector<std::unique_ptr<Agent>> agents;
+    const int n_agents = 8;
+    for (NodeId n = 0; n < n_agents; ++n) {
+        agents.push_back(std::make_unique<Agent>(
+            m, n, 0x1234 + static_cast<std::uint64_t>(n) * 999, 400,
+            &done));
+        Agent *a = agents.back().get();
+        m.eqFor(n).schedule(static_cast<Tick>(n) + 1,
+                            [a] { a->issueNext(); });
+    }
+    EXPECT_EQ(eng.run(task), ShardedEngine::Stop::Idle);
+    EXPECT_EQ(done.load(), n_agents);
+    m.mergeShardStats();
+
+    // Digest: oracle end state (sorted), violation count, stats, time.
+    std::ostringstream os;
+    std::vector<std::string> holders;
+    m.oracle().forEachTrackedHolder(
+        [&](Addr a, NodeId n, CohState st, Version v) {
+            std::ostringstream h;
+            h << std::hex << a << std::dec << "/" << n << "/"
+              << static_cast<int>(st) << "/" << v;
+            holders.push_back(h.str());
+        });
+    std::sort(holders.begin(), holders.end());
+    for (const auto &h : holders)
+        os << h << "\n";
+    os << "violations=" << m.oracle().violations() << "\n";
+    os << "windows=" << eng.windowsRun() << "\n";
+    os << "messages=" << m.messagesSent() << "\n";
+    for (const auto &[k, v] : m.stats().all())
+        os << k << "=" << v << "\n";
+    return os.str();
+}
+
+class StressAllArchs : public ::testing::TestWithParam<ArchKind>
+{
+};
+
+TEST_P(StressAllArchs, ShardAndThreadCountsAreEquivalent)
+{
+    const std::string ref = stressDigest(GetParam(), 1, 1);
+    EXPECT_EQ(stressDigest(GetParam(), 2, 1), ref) << "2 shards";
+    EXPECT_EQ(stressDigest(GetParam(), 4, 1), ref) << "4 shards";
+    EXPECT_EQ(stressDigest(GetParam(), 4, 4), ref) << "4 shards, 4 thr";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchs, StressAllArchs,
+                         ::testing::Values(ArchKind::Numa,
+                                           ArchKind::Coma,
+                                           ArchKind::Agg));
+
+// ============================================ whole-workload runs ===
+
+/** Counters that intentionally differ across kernel configurations. */
+std::map<std::string, double>
+comparableCounters(const RunResult &r)
+{
+    std::map<std::string, double> c = r.counters;
+    c.erase("sim.shards");
+    c.erase("sim.threads");
+    return c;
+}
+
+RunResult
+runApp(const std::string &app, int shards, int threads,
+       bool faults = false)
+{
+    auto wl = makeWorkload(app, 1);
+    BuildSpec spec;
+    spec.arch = ArchKind::Agg;
+    spec.threads = 4;
+    spec.dNodes = 2;
+    spec.pressure = 0.25;
+    MachineConfig cfg = buildConfig(*wl, spec);
+    cfg.shards.count = shards;
+    cfg.shards.threads = threads;
+    if (faults) {
+        cfg.faults.setUniformDropRate(0.02);
+        cfg.faults.seed = 0xfeedbeefull;
+        cfg.faults.timeoutTicks = 5000;
+        cfg.faults.sweepInterval = 1000;
+        cfg.faults.deaths.push_back(
+            DNodeDeath{10'000, static_cast<NodeId>(cfg.numPNodes)});
+    }
+    warnResetForTest();
+    return runWorkload(cfg, *wl);
+}
+
+void
+expectSameRun(const RunResult &a, const RunResult &b,
+              const std::string &what)
+{
+    EXPECT_EQ(a.totalTicks, b.totalTicks) << what;
+    EXPECT_EQ(a.messages, b.messages) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.time.busy, b.time.busy) << what;
+    EXPECT_EQ(a.time.sync, b.time.sync) << what;
+    EXPECT_EQ(a.time.memoryStall, b.time.memoryStall) << what;
+    EXPECT_EQ(a.census.totalLines(), b.census.totalLines()) << what;
+    EXPECT_EQ(a.failovers, b.failovers) << what;
+    EXPECT_EQ(comparableCounters(a), comparableCounters(b)) << what;
+}
+
+TEST(ShardDifferential, CleanWorkloadMatchesAcrossShardCounts)
+{
+    const RunResult ref = runApp("fft", 1, 1);
+    expectSameRun(ref, runApp("fft", 2, 1), "2 shards");
+    expectSameRun(ref, runApp("fft", 4, 1), "4 shards");
+    expectSameRun(ref, runApp("fft", 4, 4), "4 shards / 4 threads");
+}
+
+TEST(ShardDifferential, FaultCampaignMatchesAcrossShardCounts)
+{
+    const RunResult ref = runApp("radix", 1, 1, true);
+    EXPECT_GT(ref.counters.at("fault.net.drop"), 0.0);
+    EXPECT_EQ(ref.failovers, 1);
+    expectSameRun(ref, runApp("radix", 2, 1, true), "2 shards");
+    expectSameRun(ref, runApp("radix", 4, 1, true), "4 shards");
+    expectSameRun(ref, runApp("radix", 4, 4, true),
+                  "4 shards / 4 threads");
+}
+
+/** Figure-6-style formatted output must be byte-identical between the
+ *  windowed reference and a 4-shard run. */
+std::string
+fig6Text(int shards, int threads)
+{
+    std::ostringstream os;
+    std::vector<Bar> bars;
+    TablePrinter table({"app", "AGG25"});
+    for (const std::string app : {"fft", "barnes"}) {
+        auto wl = makeWorkload(app, 1);
+        BuildSpec spec;
+        spec.arch = ArchKind::Agg;
+        spec.threads = 4;
+        spec.pressure = 0.25;
+        MachineConfig cfg = buildConfig(*wl, spec);
+        cfg.shards.count = shards;
+        cfg.shards.threads = threads;
+        const RunResult r = runWorkload(cfg, *wl);
+        const double mem = r.memoryFraction();
+        bars.push_back({app, {mem, 1.0 - mem}});
+        table.addRow({app, TablePrinter::num(
+                               static_cast<double>(r.totalTicks))});
+    }
+    printBars(os, "Fig 6 (windowed)", {"Memory", "Processor"}, bars);
+    table.print(os);
+    return os.str();
+}
+
+TEST(ShardDifferential, Fig6OutputIsByteIdentical)
+{
+    const std::string ref = fig6Text(1, 1);
+    EXPECT_EQ(fig6Text(4, 1), ref);
+    EXPECT_EQ(fig6Text(4, 4), ref);
+}
+
+} // namespace
+} // namespace pimdsm
