@@ -12,6 +12,7 @@ namespace pimdsm
 {
 
 thread_local Machine::MachineShard *Machine::curShard_ = nullptr;
+thread_local int Machine::curShardIdx_ = -1;
 
 namespace
 {
@@ -44,22 +45,71 @@ Machine::Machine(const MachineConfig &cfg)
     mesh_.setStats(&stats_);
     oracle_.init(cfg_.check, cfg_.faults.enabled(), &stats_);
 
-    if (cfg_.shards.enabled()) {
-        windowed_ = true;
-        int s = std::min(cfg_.shards.count, cfg_.totalNodes());
-        if (s < 1)
-            s = 1;
-        shards_.reserve(static_cast<std::size_t>(s));
-        for (int i = 0; i < s; ++i)
-            shards_.push_back(std::make_unique<MachineShard>());
-        mesh_.setDeliverySink(this);
-        pageMap_.setThreadSafe(true);
-    }
-
+    // Controllers and the physical placement must exist before the
+    // shard setup below: the Region partitioner splits the mesh by
+    // *slot*, which buildAgg's interleaved placement decides.
     if (cfg_.arch == ArchKind::Agg)
         buildAgg();
     else
         buildNumaOrComa();
+
+    if (cfg_.shards.enabled()) {
+        windowed_ = true;
+        const int total = cfg_.totalNodes();
+        int s = std::min(cfg_.shards.count, total);
+        if (s < 1)
+            s = 1;
+        shards_.reserve(static_cast<std::size_t>(s));
+        for (int i = 0; i < s; ++i) {
+            shards_.push_back(std::make_unique<MachineShard>());
+            shards_.back()->outbox.resize(static_cast<std::size_t>(s));
+        }
+
+        std::vector<int> node_slot(static_cast<std::size_t>(total));
+        for (NodeId n = 0; n < total; ++n)
+            node_slot[static_cast<std::size_t>(n)] = mesh_.nodeSlot(n);
+        nodeShard_ = buildPartition(cfg_.partition, total, s,
+                                    cfg_.net.meshX, cfg_.net.meshY,
+                                    node_slot);
+
+        syncCap_ = mesh_.maxCrossNodeLatency();
+        rebuildLookahead();
+        mesh_.setTopologyListener([this] { rebuildLookahead(); });
+
+        horizons_.assign(static_cast<std::size_t>(s), 0);
+        pending_.resize(static_cast<std::size_t>(s) *
+                        static_cast<std::size_t>(s));
+        mesh_.setDeliverySink(this);
+        pageMap_.setThreadSafe(true);
+    }
+}
+
+void
+Machine::rebuildLookahead()
+{
+    // Only routability changes here: a pair severed by dead links
+    // contributes kMaxTick (nothing can arrive before the canonical
+    // heal, where this runs again); everything else keeps its static
+    // Manhattan bound, which detours can only exceed.
+    matrix_ = buildLookaheadMatrix(
+        nodeShard_, static_cast<int>(shards_.size()),
+        [this](NodeId a, NodeId b) {
+            return mesh_.minLatencyBetween(a, b);
+        });
+    // The mesh is not the only influence channel: a deferred op parked
+    // at tick t re-injects work into its *own* shard at t + syncCap_
+    // through the barrier (partition cuts do not block it). That self
+    // edge's lookahead must bound the diagonal, or a window could run
+    // past an op's injection tick and force a clock-dependent — i.e.
+    // partition-dependent — late placement.
+    for (int j = 0; j < matrix_.shards; ++j) {
+        Tick &d = matrix_.pair[static_cast<std::size_t>(j) *
+                                   static_cast<std::size_t>(
+                                       matrix_.shards) +
+                               static_cast<std::size_t>(j)];
+        if (syncCap_ < d)
+            d = syncCap_;
+    }
 }
 
 void
@@ -239,14 +289,24 @@ Machine::send(Message msg)
                 };
                 curShard_->eq.scheduleIn(1, std::move(deliver));
             } else {
-                // Cross-node: park; the barrier commits all shards'
-                // sends serially in (tick, src) order.
-                curShard_->sends.push_back(ParkedSend{
-                    curShard_->eq.curTick(), std::move(msg)});
+                // Cross-node: park in the per-destination-shard
+                // outbox; the barrier commits all shards' sends
+                // serially in (tick, src node, seq) order. Same-shard
+                // destinations park too — mesh links are shared with
+                // through-traffic, so their acquisition order must
+                // stay canonical.
+                const int d = shardOf(msg.dst);
+                ++curShard_->xnodeMsgs;
+                if (d != curShardIdx_)
+                    ++curShard_->xshardMsgs;
+                curShard_->outbox[static_cast<std::size_t>(d)]
+                    .push_back(ParkedSend{curShard_->eq.curTick(),
+                                          curShard_->nextSendSeq++,
+                                          std::move(msg)});
             }
         } else {
             // Serial phase (barrier-time fault handling and the like).
-            commitSend(eq_.curTick(), std::move(msg));
+            commitSend(eq_.curTick(), std::move(msg), externalKey());
         }
         return;
     }
@@ -271,8 +331,17 @@ Machine::send(Message msg)
     mesh_.send(src, dst, payload, std::move(deliver), cls);
 }
 
+EventQueue::ExternalKey
+Machine::externalKey()
+{
+    if (commitKeyValid_)
+        return commitKey_;
+    return EventQueue::ExternalKey{eq_.curTick(), 0,
+                                   kSerialKeyBand + nextSerialKeySeq_++};
+}
+
 void
-Machine::commitSend(Tick t, Message msg)
+Machine::commitSend(Tick t, Message msg, EventQueue::ExternalKey key)
 {
     const NodeId src = msg.src;
     const NodeId dst = msg.dst;
@@ -288,23 +357,42 @@ Machine::commitSend(Tick t, Message msg)
         deliverDirect(h.get());
     };
 
+    // Everything this commit inserts — the delivery, a faulted
+    // duplicate's delivery — carries the parked item's key, so its
+    // placement among same-tick external events is decided by the
+    // item, not by which barrier committed it. Saved and restored
+    // because op bodies send serially mid-drain.
+    const EventQueue::ExternalKey saved_key = commitKey_;
+    const bool saved_valid = commitKeyValid_;
+    commitKey_ = key;
+    commitKeyValid_ = true;
+
     if (src == dst) {
-        dsh->eq.schedule(t + 1, std::move(deliver));
-        return;
+        // External lane: a barrier-committed self-delivery must not
+        // overtake (or be overtaken by) the shard's own same-tick
+        // events in a round-structure-dependent way.
+        dsh->eq.scheduleExternal(t + 1, key, std::move(deliver));
+    } else {
+        mesh_.setCommitTime(t);
+        mesh_.send(src, dst, payload, std::move(deliver), cls);
     }
-    mesh_.setCommitTime(t);
-    mesh_.send(src, dst, payload, std::move(deliver), cls);
+
+    commitKey_ = saved_key;
+    commitKeyValid_ = saved_valid;
 }
 
 void
 Machine::meshDeliver(Tick when, NodeId dst, InlineCallback deliver)
 {
-    if (when < windowEnd_)
+    const int d = shardOf(dst);
+    if (when < horizons_[static_cast<std::size_t>(d)])
         panic("mesh delivery at tick " + std::to_string(when) +
-              " inside the lookahead horizon (window ends at " +
-              std::to_string(windowEnd_) +
-              "): cross-node latency fell below the safe window");
-    shards_[shardOf(dst)]->eq.schedule(when, std::move(deliver));
+              " inside the lookahead horizon (shard " +
+              std::to_string(d) + " already ran to " +
+              std::to_string(horizons_[static_cast<std::size_t>(d)]) +
+              "): cross-node latency fell below its matrix bound");
+    shards_[static_cast<std::size_t>(d)]->eq.scheduleExternal(
+        when, externalKey(), std::move(deliver));
 }
 
 void
@@ -476,95 +564,291 @@ void
 Machine::runShardWindow(int s, Tick begin, Tick end)
 {
     (void)begin;
-    MachineShard *sh = shards_[static_cast<std::size_t>(s)].get();
+    const std::size_t i = static_cast<std::size_t>(s);
+    MachineShard *sh = shards_[i].get();
     curShard_ = sh;
+    curShardIdx_ = s;
     // Events strictly below `end` belong to this window; anything a
     // handler schedules at or past `end` waits for a later window.
+    // Each index is written by exactly one thread per round and read
+    // serially after the barrier, so no synchronization is needed.
+    if (end > horizons_[i])
+        horizons_[i] = end;
     sh->eq.runUntil(end - 1);
     curShard_ = nullptr;
+    curShardIdx_ = -1;
 }
 
 Tick
 Machine::shardNextTime(int s) const
 {
-    return shards_[static_cast<std::size_t>(s)]->eq.nextEventTick();
+    const std::size_t S = shards_.size();
+    const std::size_t si = static_cast<std::size_t>(s);
+    Tick t = shards_[si]->eq.nextEventTick();
+    for (std::size_t d = 0; d < S; ++d) {
+        const PendingBuf &buf = pending_[si * S + d];
+        if (!buf.drained() && buf.front().tick < t)
+            t = buf.front().tick;
+    }
+    for (std::size_t i = pendingOpsHead_; i < pendingOps_.size(); ++i) {
+        // Sorted by tick: the first op of this shard is its earliest.
+        if (shardOf(pendingOps_[i].node) == s) {
+            if (pendingOps_[i].tick < t)
+                t = pendingOps_[i].tick;
+            break;
+        }
+    }
+    return t;
+}
+
+Tick
+Machine::minNextTime() const
+{
+    const std::size_t S = shards_.size();
+    Tick c = kMaxTick;
+    for (const auto &sh : shards_) {
+        const Tick t = sh->eq.nextEventTick();
+        if (t < c)
+            c = t;
+    }
+    for (std::size_t s = 0; s < S; ++s) {
+        for (std::size_t d = 0; d < S; ++d) {
+            const PendingBuf &buf = pending_[s * S + d];
+            if (buf.drained())
+                continue;
+            // The buffer is tick-sorted, so its head's bound covers
+            // every item in it.
+            const Tick b = satAddTick(
+                buf.front().tick,
+                matrix_.at(static_cast<int>(s), static_cast<int>(d)));
+            if (b < c)
+                c = b;
+        }
+    }
+    if (pendingOpsHead_ < pendingOps_.size()) {
+        const Tick b =
+            satAddTick(pendingOps_[pendingOpsHead_].tick, syncCap_);
+        if (b < c)
+            c = b;
+    }
+    return c;
 }
 
 void
-Machine::commitWindow(Tick wend)
+Machine::collectParked()
 {
-    windowEnd_ = wend;
-    // Keep the base clock in step: serial-phase work (fault events,
-    // reports) reads eq_.curTick().
-    eq_.runUntil(wend - 1);
-
-    // 1. Replay the shards' oracle journals. Stable sort by
-    //    (tick, key): a node's same-tick entries sit in one shard
-    //    buffer in program order, so the replay sequence is identical
-    //    for every shard and thread count.
-    if (oracle_.enabled()) {
-        journalScratch_.clear();
-        for (auto &sh : shards_) {
+    const std::size_t S = shards_.size();
+    for (std::size_t s = 0; s < S; ++s) {
+        MachineShard *sh = shards_[s].get();
+        for (std::size_t d = 0; d < S; ++d) {
+            auto &in = sh->outbox[d];
+            if (in.empty())
+                continue;
+            PendingBuf &buf = pending_[s * S + d];
+            // Slab recycle: drop the consumed prefix, then merge the
+            // new batch in. The batch arrives in per-shard seq order
+            // (ticks nondecreasing within one node), so a stable sort
+            // by (tick, src) keeps each node's program order, and
+            // every new tick is >= the last commit bound, so the two
+            // sorted runs interleave with a single inplace_merge.
+            if (buf.head > 0) {
+                buf.items.erase(buf.items.begin(),
+                                buf.items.begin() +
+                                    static_cast<std::ptrdiff_t>(
+                                        buf.head));
+                buf.head = 0;
+            }
+            const std::size_t mid = buf.items.size();
+            buf.items.insert(buf.items.end(),
+                             std::make_move_iterator(in.begin()),
+                             std::make_move_iterator(in.end()));
+            in.clear();
+            const auto by_tick_src = [](const ParkedSend &a,
+                                        const ParkedSend &b) {
+                if (a.tick != b.tick)
+                    return a.tick < b.tick;
+                return a.msg.src < b.msg.src;
+            };
+            std::stable_sort(buf.items.begin() +
+                                 static_cast<std::ptrdiff_t>(mid),
+                             buf.items.end(), by_tick_src);
+            std::inplace_merge(buf.items.begin(),
+                               buf.items.begin() +
+                                   static_cast<std::ptrdiff_t>(mid),
+                               buf.items.end(), by_tick_src);
+        }
+        if (!sh->ops.empty()) {
+            if (pendingOpsHead_ > 0) {
+                pendingOps_.erase(pendingOps_.begin(),
+                                  pendingOps_.begin() +
+                                      static_cast<std::ptrdiff_t>(
+                                          pendingOpsHead_));
+                pendingOpsHead_ = 0;
+            }
+            const std::size_t mid = pendingOps_.size();
+            pendingOps_.insert(pendingOps_.end(),
+                               std::make_move_iterator(sh->ops.begin()),
+                               std::make_move_iterator(sh->ops.end()));
+            sh->ops.clear();
+            const auto by_tick_node = [](const ParkedOp &a,
+                                         const ParkedOp &b) {
+                if (a.tick != b.tick)
+                    return a.tick < b.tick;
+                if (a.node != b.node)
+                    return a.node < b.node;
+                return a.seq < b.seq;
+            };
+            std::stable_sort(pendingOps_.begin() +
+                                 static_cast<std::ptrdiff_t>(mid),
+                             pendingOps_.end(), by_tick_node);
+            std::inplace_merge(pendingOps_.begin(),
+                               pendingOps_.begin() +
+                                   static_cast<std::ptrdiff_t>(mid),
+                               pendingOps_.end(), by_tick_node);
+        }
+        if (oracle_.enabled()) {
             auto entries = sh->journal.take();
-            journalScratch_.insert(
-                journalScratch_.end(),
+            pendingJournal_.insert(
+                pendingJournal_.end(),
                 std::make_move_iterator(entries.begin()),
                 std::make_move_iterator(entries.end()));
         }
-        std::stable_sort(
-            journalScratch_.begin(), journalScratch_.end(),
-            [](const ShardOracleJournal::Entry &a,
-               const ShardOracleJournal::Entry &b) {
-                if (a.tick != b.tick)
-                    return a.tick < b.tick;
-                return a.key < b.key;
-            });
-        for (const auto &e : journalScratch_)
-            ShardOracleJournal::replayEntry(oracle_, e);
+    }
+    if (oracle_.enabled() && !pendingJournal_.empty()) {
+        // Same-key same-tick entries come from one node's shard buffer
+        // in program order, and older barriers appended earlier, so a
+        // stable sort keeps the canonical sequence.
+        std::stable_sort(pendingJournal_.begin(), pendingJournal_.end(),
+                         [](const ShardOracleJournal::Entry &a,
+                            const ShardOracleJournal::Entry &b) {
+                             if (a.tick != b.tick)
+                                 return a.tick < b.tick;
+                             return a.key < b.key;
+                         });
+    }
+}
+
+void
+Machine::commitWindow(Tick cap)
+{
+    collectParked();
+
+    // The commit frontier: everything strictly below it is parked by
+    // now (future events all sit at or past their shard queue's next
+    // tick, and anything they might park inherits that bound), so the
+    // committed stream — concatenated across barriers — is the same
+    // for every partition, shard count, and thread count. The caller's
+    // cap pins the frontier at fault fire points.
+    Tick c = minNextTime();
+    if (cap < c)
+        c = cap;
+
+    // Keep the base clock on the frontier: serial-phase work (fault
+    // events, reports) reads eq_.curTick(). At the final (quiescent)
+    // barrier there is no frontier to chase — alignWindowedClocks
+    // settles the clock from the executed event set instead.
+    if (c != kMaxTick && c > eq_.curTick())
+        eq_.runUntil(c - 1);
+
+    // 1. Replay the committable oracle-journal prefix in (tick, key)
+    //    order — identical for every shard and thread count.
+    if (oracle_.enabled() && !pendingJournal_.empty()) {
+        std::size_t i = 0;
+        while (i < pendingJournal_.size() &&
+               pendingJournal_[i].tick < c) {
+            ShardOracleJournal::replayEntry(oracle_, pendingJournal_[i]);
+            ++i;
+        }
+        pendingJournal_.erase(pendingJournal_.begin(),
+                              pendingJournal_.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
     }
 
-    // 2. Commit the parked cross-node sends in (tick, src) order; this
-    //    is where mesh link contention and fault decisions happen, all
-    //    on one thread, in an order no shard interleaving can change.
-    sendScratch_.clear();
-    for (auto &sh : shards_) {
-        sendScratch_.insert(sendScratch_.end(),
-                            std::make_move_iterator(sh->sends.begin()),
-                            std::make_move_iterator(sh->sends.end()));
-        sh->sends.clear();
+    // 2. Commit parked cross-node sends below the frontier: a k-way
+    //    merge over the (src shard, dst shard) buffers in (tick, src
+    //    node, seq) order. This is where mesh link contention and
+    //    fault decisions happen, all on one thread, in an order no
+    //    window grouping can change. Ties on (tick, src node) span
+    //    only one source shard, whose seq counter orders them by that
+    //    node's program order.
+    const std::size_t S = shards_.size();
+    for (;;) {
+        PendingBuf *best = nullptr;
+        for (std::size_t i = 0; i < S * S; ++i) {
+            PendingBuf &buf = pending_[i];
+            if (buf.drained() || buf.front().tick >= c)
+                continue;
+            if (!best)
+                best = &buf;
+            else {
+                const ParkedSend &a = buf.front();
+                const ParkedSend &b = best->front();
+                if (a.tick != b.tick ? a.tick < b.tick
+                    : a.msg.src != b.msg.src ? a.msg.src < b.msg.src
+                                             : a.seq < b.seq)
+                    best = &buf;
+            }
+        }
+        if (!best)
+            break;
+        ParkedSend &ps = best->items[best->head++];
+        const EventQueue::ExternalKey key{ps.tick, ps.msg.src, ps.seq};
+        commitSend(ps.tick, std::move(ps.msg), key);
     }
-    std::stable_sort(sendScratch_.begin(), sendScratch_.end(),
-                     [](const ParkedSend &a, const ParkedSend &b) {
-                         if (a.tick != b.tick)
-                             return a.tick < b.tick;
-                         return a.msg.src < b.msg.src;
-                     });
-    for (auto &ps : sendScratch_)
-        commitSend(ps.tick, std::move(ps.msg));
-    sendScratch_.clear();
 
-    // 3. Run the deferred sync-manager bodies in (tick, node) order.
-    opScratch_.clear();
-    for (auto &sh : shards_) {
-        opScratch_.insert(opScratch_.end(),
-                          std::make_move_iterator(sh->ops.begin()),
-                          std::make_move_iterator(sh->ops.end()));
-        sh->ops.clear();
-    }
-    std::stable_sort(opScratch_.begin(), opScratch_.end(),
-                     [](const ParkedOp &a, const ParkedOp &b) {
-                         if (a.tick != b.tick)
-                             return a.tick < b.tick;
-                         return a.node < b.node;
-                     });
-    for (auto &op : opScratch_)
+    // 3. Run the committable deferred sync-manager bodies in
+    //    (tick, node, seq) order. Work they re-inject lands at the
+    //    op's tick + syncCap_, which clears every shard horizon, and
+    //    carries the op's key: whether an injection shares its landing
+    //    tick with a step-2 delivery is load-dependent, so only an
+    //    intrinsic key keeps that collision's order canonical.
+    while (pendingOpsHead_ < pendingOps_.size() &&
+           pendingOps_[pendingOpsHead_].tick < c) {
+        ParkedOp &op = pendingOps_[pendingOpsHead_++];
+        injectTick_ = satAddTick(op.tick, syncCap_);
+        commitKey_ = EventQueue::ExternalKey{op.tick, op.node, op.seq};
+        commitKeyValid_ = true;
         op.fn();
-    opScratch_.clear();
+        commitKeyValid_ = false;
+    }
 
     // Any serial-phase mesh traffic after this point (partition drains
-    // on link heals, barrier-time resends) is stamped with the barrier
-    // time.
-    mesh_.setCommitTime(wend);
+    // on link heals, barrier-time resends) is stamped with the
+    // frontier, and late injections (fault recovery) land there too.
+    if (c != kMaxTick) {
+        mesh_.setCommitTime(c);
+        injectTick_ = c;
+    }
+}
+
+void
+Machine::alignWindowedClocks()
+{
+    Tick t = eq_.lastExecutedTick();
+    for (const auto &sh : shards_) {
+        if (!sh->eq.empty())
+            panic("alignWindowedClocks on a non-quiescent machine");
+        if (sh->eq.lastExecutedTick() > t)
+            t = sh->eq.lastExecutedTick();
+    }
+    for (auto &sh : shards_) {
+        if (sh->eq.curTick() < t)
+            sh->eq.runUntil(t);
+        else
+            sh->eq.rewindTo(t);
+    }
+    if (eq_.curTick() < t)
+        eq_.runUntil(t);
+    else if (eq_.curTick() > t)
+        eq_.rewindTo(t);
+    // Void the granted horizons: they overshoot t by partition-
+    // dependent amounts, and next-phase work scheduled at t must not
+    // trip the delivery check against a stale grant. The caller resets
+    // the engine's window state to t in the same breath.
+    for (auto &h : horizons_)
+        h = t;
+    mesh_.setCommitTime(t);
+    injectTick_ = t;
 }
 
 void
@@ -574,8 +858,9 @@ Machine::deferToBarrier(NodeId node, std::function<void()> fn)
         fn();
         return;
     }
-    curShard_->ops.push_back(
-        ParkedOp{curShard_->eq.curTick(), node, std::move(fn)});
+    curShard_->ops.push_back(ParkedOp{curShard_->eq.curTick(), node,
+                                      curShard_->nextSendSeq++,
+                                      std::move(fn)});
 }
 
 void
@@ -587,8 +872,15 @@ Machine::injectNextWindow(NodeId node, std::function<void()> fn)
     }
     if (curShard_)
         panic("injectNextWindow called from inside a window");
-    shards_[static_cast<std::size_t>(shardOf(node))]->eq.schedule(
-        windowEnd_, [fn = std::move(fn)] { fn(); });
+    EventQueue &q = shards_[static_cast<std::size_t>(shardOf(node))]->eq;
+    // With the matrix diagonal clamped to syncCap (rebuildLookahead),
+    // no window can have run past an op's injection tick, so this
+    // clamp only engages when all clocks sit aligned at a phase
+    // boundary — where it is the same for every partition.
+    Tick at = injectTick_;
+    if (at <= q.curTick())
+        at = q.curTick() + 1;
+    q.scheduleExternal(at, externalKey(), [fn = std::move(fn)] { fn(); });
 }
 
 void
@@ -598,6 +890,12 @@ Machine::mergeShardStats()
         for (const auto &[name, v] : sh->stats.all())
             stats_.add(name, v);
         sh->stats.clear();
+        stats_.add("sim.xnode_msgs",
+                   static_cast<double>(sh->xnodeMsgs));
+        stats_.add("sim.xshard_msgs",
+                   static_cast<double>(sh->xshardMsgs));
+        sh->xnodeMsgs = 0;
+        sh->xshardMsgs = 0;
     }
 }
 

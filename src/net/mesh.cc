@@ -147,6 +147,8 @@ Mesh::setLinkAlive(int x, int y, int dir, bool alive)
                           : "fault.net.link_deaths");
     if (alive && !blocked_.empty())
         drainBlocked();
+    if (topoListener_)
+        topoListener_();
 }
 
 void

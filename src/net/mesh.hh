@@ -105,6 +105,53 @@ class Mesh
                params_.wireLatency + serTicks(0);
     }
 
+    /**
+     * Lower bound on the latency of any @p src -> @p dst message:
+     * two NI traversals, the Manhattan hop distance, and an empty
+     * payload's serialization. Detours (degraded mode) only lengthen
+     * paths, so the Manhattan distance stays a valid bound; when the
+     * pair is currently unroutable the bound is kMaxTick — nothing can
+     * be delivered before the next (canonical) heal event, at which
+     * point the listener (setTopologyListener) rebuilds whatever was
+     * derived from these bounds.
+     */
+    Tick
+    minLatencyBetween(NodeId src, NodeId dst) const
+    {
+        if (deadLinks_ > 0 && !routable(src, dst))
+            return kMaxTick;
+        return unloadedLatency(src, dst, 0);
+    }
+
+    /**
+     * Static upper bound on minLatencyBetween over all routable pairs:
+     * the corner-to-corner Manhattan distance. Used as the injection
+     * delay that keeps externally injected work (synchronization
+     * releases, fault commits) ahead of every shard horizon.
+     */
+    Tick
+    maxCrossNodeLatency() const
+    {
+        const Tick per_hop = params_.routerLatency + params_.wireLatency;
+        return 2 * params_.niLatency +
+               static_cast<Tick>(params_.meshX - 1 + params_.meshY - 1) *
+                   per_hop +
+               serTicks(0);
+    }
+
+    /**
+     * Invoked (serially, at canonical fault points) after any
+     * setLinkAlive call that changed the topology — deaths and heals
+     * both. The windowed kernel rebuilds its lookahead matrix here.
+     */
+    void setTopologyListener(InlineCallback cb)
+    {
+        topoListener_ = std::move(cb);
+    }
+
+    /** Mesh slot of node @p n (after placement permutation). */
+    int nodeSlot(NodeId n) const { return slotOf(n); }
+
     /** Attach a StatSet for link/partition fault accounting. */
     void setStats(StatSet *stats) { stats_ = stats; }
 
@@ -242,6 +289,8 @@ class Mesh
     FaultPlan *faults_ = nullptr;
     StatSet *stats_ = nullptr;
     MeshDeliverySink *sink_ = nullptr;
+    /** Topology-change notification (see setTopologyListener). */
+    InlineCallback topoListener_;
     /** send()'s "now" while a delivery sink is installed. */
     Tick commitNow_ = 0;
     std::uint64_t messagesSent_ = 0;

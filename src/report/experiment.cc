@@ -12,6 +12,7 @@
 #include "machine/reconfig.hh"
 #include "proto/stuck.hh"
 #include "sim/log.hh"
+#include "sim/partition.hh"
 #include "sim/shard.hh"
 
 namespace pimdsm
@@ -81,6 +82,8 @@ class MachineShardTask final : public ShardTask
 
     std::function<bool(Tick)> onCommit;
 
+    std::function<Tick()> onClamp;
+
     void
     runWindow(int shard, Tick begin, Tick end) override
     {
@@ -89,7 +92,13 @@ class MachineShardTask final : public ShardTask
 
     Tick nextTime(int shard) override { return m_.shardNextTime(shard); }
 
-    bool commit(Tick window_end) override { return onCommit(window_end); }
+    Tick
+    horizonClamp() override
+    {
+        return onClamp ? onClamp() : kMaxTick;
+    }
+
+    bool commit(Tick cap) override { return onCommit(cap); }
 
   private:
     Machine &m_;
@@ -116,6 +125,16 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         if (const char *t = std::getenv("PIMDSM_SHARD_THREADS"))
             cfg.shards.threads = std::atoi(t);
     }
+    // The partition scheme is a pure perf knob (results are identical
+    // either way), so the environment may override it unconditionally.
+    if (const char *p = std::getenv("PIMDSM_PARTITION")) {
+        PartitionScheme scheme;
+        if (parsePartitionScheme(p, scheme))
+            cfg.partition = scheme;
+        else
+            warn(std::string("unknown PIMDSM_PARTITION '") + p +
+                 "' ignored (want roundrobin|region)");
+    }
 
     Machine m(cfg);
     SyncManager sync(static_cast<int>(m.computeNodes().size()));
@@ -138,7 +157,7 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         };
         sync.setWindowHooks(std::move(hooks));
         engine = std::make_unique<ShardedEngine>(
-            m.numShards(), cfg.shards.threads, m.lookahead());
+            m.numShards(), cfg.shards.threads, &m.lookaheadMatrix());
     }
 
     RunResult result;
@@ -286,28 +305,39 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
 
         if (m.windowed()) {
             const std::uint64_t exec_at_start = m.shardExecutedTotal();
-            task.onCommit = [&](Tick wend) {
-                m.commitWindow(wend);
-                fire_due_events();
+            task.onCommit = [&](Tick cap) {
+                m.commitWindow(cap);
                 if (m.shardExecutedTotal() - exec_at_start >
                     opts.maxEventsPerPhase)
                     panic("phase '" + pr.name +
                           "' exceeded event budget");
                 return true;
             };
+            // Horizon clamp: no shard may run past a scheduled fault
+            // before it fires (fire point = fault tick + 1: every
+            // event at the fault's own tick still precedes it).
+            task.onClamp = [&]() -> Tick {
+                return fev_idx < fevents.size()
+                           ? fevents[fev_idx].tick + 1
+                           : kMaxTick;
+            };
             while (true) {
                 engine->run(task);
-                // Every shard queue is idle. If threads still run (or
-                // trailing work is parked behind a partition), the only
-                // future work is the fault timeline — a failover or a
-                // heal revives retries — so fast-forward the serial
-                // clock to the next scheduled fault and fire it.
+                // Idle under the clamp: everything below the next
+                // fault's fire point has run and committed. Fire it if
+                // anything still cares — threads are unfinished, work
+                // is parked behind a partition, or trailing protocol
+                // activity remains to drain past the fault.
                 if (fev_idx < fevents.size() &&
                     (done.load() < threads ||
-                     m.mesh().partitionBlocked() > 0)) {
-                    const Tick ft = std::max(fevents[fev_idx].tick,
-                                             m.eq().curTick() + 1);
-                    m.commitWindow(ft);
+                     m.mesh().partitionBlocked() > 0 ||
+                     m.minNextTime() != kMaxTick)) {
+                    const Tick ft = fevents[fev_idx].tick;
+                    m.commitWindow(ft + 1);
+                    // Serial-phase traffic at the fire point (heal
+                    // drains, failover resends) is stamped with the
+                    // fault tick itself, as in the legacy kernel.
+                    m.mesh().setCommitTime(ft);
                     fire_event(fevents[fev_idx++]);
                     continue;
                 }
@@ -316,6 +346,13 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
                 break;
             }
             task.onCommit = nullptr;
+            task.onClamp = nullptr;
+            // Settle every clock on the canonical end-of-phase tick
+            // (horizons overshoot by partition-dependent amounts), and
+            // restart the engine's window grid there so the next phase
+            // earns fresh horizons from the common clock.
+            m.alignWindowedClocks();
+            engine->resetWindows(m.eq().curTick());
         } else {
 
         std::uint64_t events = 0;
@@ -419,10 +456,9 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
         static_cast<double>(m.mesh().totalLinkWait());
     double engine_wait = 0;
     for (NodeId n = 0; n < m.totalNodes(); ++n) {
-        if (m.home(n)) {
+        if (m.home(n))
             engine_wait +=
                 static_cast<double>(m.home(n)->engine().waitTicks());
-        }
     }
     result.counters["home.engine_wait_ticks"] = engine_wait;
     result.counters["sim.events_executed"] = static_cast<double>(
@@ -434,6 +470,14 @@ runWorkload(MachineConfig cfg, const Workload &wl, const RunOptions &opts)
             static_cast<double>(engine->numThreads());
         result.counters["sim.windows"] =
             static_cast<double>(engine->windowsRun());
+        result.counters["sim.window_count"] =
+            static_cast<double>(engine->windowsRun());
+        result.counters["sim.barrier_wait_ticks"] =
+            static_cast<double>(engine->barrierSpins());
+        const double xnode = result.counters["sim.xnode_msgs"];
+        const double xshard = result.counters["sim.xshard_msgs"];
+        result.counters["sim.xshard_frac"] =
+            xnode > 0 ? xshard / xnode : 0.0;
     }
 
     const auto dnodes = m.directoryNodes();

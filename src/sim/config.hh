@@ -189,6 +189,17 @@ struct CheckConfig
 };
 
 /**
+ * How nodes map to simulation shards (see sim/partition.hh).
+ * Results are bit-identical across schemes; the choice only affects
+ * how much traffic crosses shards and therefore parallel speed.
+ */
+enum class PartitionScheme : std::uint8_t
+{
+    RoundRobin, ///< node % S (PR 8 behaviour; maximal cross-shard traffic)
+    Region,     ///< contiguous mesh regions (grid blocks; snake fallback)
+};
+
+/**
  * Parallel-kernel knobs: split the machine into per-node-group
  * simulation shards driven under a conservative time-window protocol
  * (see sim/shard.hh and DESIGN.md "Parallel kernel & lookahead").
@@ -276,6 +287,14 @@ struct MachineConfig
 
     /** Parallel-kernel knobs (legacy sequential kernel by default). */
     ShardConfig shards;
+
+    /**
+     * Node-to-shard partition scheme (windowed kernel only; ignored by
+     * the legacy kernel). Region keeps mesh neighbours in one shard so
+     * most protocol traffic stays shard-local; results are identical
+     * either way (the differential suite pins both).
+     */
+    PartitionScheme partition = PartitionScheme::Region;
 
     /** Nodes in the machine (P + D). */
     int totalNodes() const { return numPNodes + numDNodes; }

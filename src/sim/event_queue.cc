@@ -42,6 +42,8 @@ EventQueue::EventQueue(KernelKind kind) : kind_(kind)
     if (kind_ == KernelKind::Calendar) {
         bucketHead_.assign(kBuckets, nullptr);
         bucketTail_.assign(kBuckets, nullptr);
+        bucketHeadExt_.assign(kBuckets, nullptr);
+        bucketTailExt_.assign(kBuckets, nullptr);
         occ_.assign(kOccWords, 0);
     }
 }
@@ -80,30 +82,48 @@ EventQueue::pushBucket(EventNode *n)
 {
     const std::size_t idx = static_cast<std::size_t>(n->when) &
                             kBucketMask;
-    n->next = nullptr;
-    if (bucketTail_[idx]) {
-        bucketTail_[idx]->next = n;
-    } else {
-        bucketHead_[idx] = n;
+    // The seq band decides the lane (survives overflow migration).
+    const bool ext = n->seq >= kExternalSeqBase;
+    if (!bucketHead_[idx] && !bucketHeadExt_[idx])
         occ_[idx >> 6] |= 1ull << (idx & 63);
+    if (!ext) {
+        // Local lane: plain FIFO append.
+        n->next = nullptr;
+        if (bucketTail_[idx])
+            bucketTail_[idx]->next = n;
+        else
+            bucketHead_[idx] = n;
+        bucketTail_[idx] = n;
+    } else {
+        // External lane: sorted insertion before the first node with a
+        // strictly greater key, so equal keys keep insertion order.
+        // The list is a handful of barrier commits at most.
+        EventNode **pp = &bucketHeadExt_[idx];
+        while (*pp && !extKeyLess(*n, **pp))
+            pp = &(*pp)->next;
+        n->next = *pp;
+        *pp = n;
+        if (!n->next)
+            bucketTailExt_[idx] = n;
     }
-    bucketTail_[idx] = n;
     ++bucketedCount_;
 }
 
 void
-EventQueue::schedule(Tick when, Callback fn)
+EventQueue::scheduleSeq(Tick when, std::uint64_t seq, ExternalKey key,
+                        Callback fn)
 {
     if (when < curTick_)
         panic("event scheduled in the past");
     ++size_;
     if (kind_ == KernelKind::ReferenceHeap) {
-        heap_.push(RefEntry{when, nextSeq_++, std::move(fn)});
+        heap_.push(RefEntry{when, seq, key, std::move(fn)});
         return;
     }
     EventNode *n = allocNode();
     n->when = when;
-    n->seq = nextSeq_++;
+    n->seq = seq;
+    n->key = key;
     n->fn = std::move(fn);
     // Ring window is [base_, base_ + kBuckets). base_ can sit ahead of
     // curTick after a migration whose events a bounded runUntil() did
@@ -114,6 +134,18 @@ EventQueue::schedule(Tick when, Callback fn)
         pushBucket(n);
     else
         overflow_.push(n);
+}
+
+void
+EventQueue::schedule(Tick when, Callback fn)
+{
+    scheduleSeq(when, nextSeq_++, ExternalKey{}, std::move(fn));
+}
+
+void
+EventQueue::scheduleExternal(Tick when, ExternalKey key, Callback fn)
+{
+    scheduleSeq(when, nextExternalSeq_++, key, std::move(fn));
 }
 
 Tick
@@ -141,8 +173,8 @@ EventQueue::migrateOverflow()
 {
     // The buckets drained: jump the window to the next overflow event
     // and pull everything now in range into the ring. Popping the heap
-    // yields (when, seq) order, so same-tick FIFO order is preserved
-    // bucket by bucket.
+    // yields (when, lane, key, seq) order, so each bucket's per-lane
+    // order is preserved (external inserts land at the list tail).
     base_ = overflow_.top()->when;
     while (!overflow_.empty() &&
            overflow_.top()->when - base_ < kBuckets) {
@@ -169,7 +201,10 @@ EventQueue::scanBuckets(std::size_t &bucket_idx_out) const
                                     static_cast<std::size_t>(
                                         std::countr_zero(word));
             bucket_idx_out = idx;
-            return bucketHead_[idx];
+            // Local lane pops first; the external lane only runs once
+            // the tick's local FIFO is empty.
+            return bucketHead_[idx] ? bucketHead_[idx]
+                                    : bucketHeadExt_[idx];
         }
         w = (w + 1) & (kOccWords - 1);
         word = occ_[w];
@@ -191,6 +226,7 @@ EventQueue::runCore(std::uint64_t max_events, Tick until)
             heap_.pop();
             --size_;
             curTick_ = e.when;
+            lastExec_ = e.when;
             e.fn();
             ++n;
         }
@@ -220,10 +256,16 @@ EventQueue::runCore(std::uint64_t max_events, Tick until)
         // Unlink and recycle the node before invoking the callback, so
         // the callback may schedule events (possibly reusing the slot).
         if (fromBucket) {
-            bucketHead_[idx] = ev->next;
-            if (!bucketHead_[idx]) {
-                bucketTail_[idx] = nullptr;
-                occ_[idx >> 6] &= ~(1ull << (idx & 63));
+            const bool ext = ev->seq >= kExternalSeqBase;
+            EventNode **head = ext ? &bucketHeadExt_[idx]
+                                   : &bucketHead_[idx];
+            EventNode **tail = ext ? &bucketTailExt_[idx]
+                                   : &bucketTail_[idx];
+            *head = ev->next;
+            if (!*head) {
+                *tail = nullptr;
+                if (!bucketHead_[idx] && !bucketHeadExt_[idx])
+                    occ_[idx >> 6] &= ~(1ull << (idx & 63));
             }
             --bucketedCount_;
         } else {
@@ -231,6 +273,7 @@ EventQueue::runCore(std::uint64_t max_events, Tick until)
         }
         --size_;
         curTick_ = ev->when;
+        lastExec_ = ev->when;
         Callback fn = std::move(ev->fn);
         freeNode(ev);
         fn();

@@ -1,0 +1,229 @@
+#include "sim/partition.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "sim/log.hh"
+
+namespace pimdsm
+{
+
+const char *
+partitionSchemeName(PartitionScheme s)
+{
+    switch (s) {
+      case PartitionScheme::RoundRobin:
+        return "roundrobin";
+      case PartitionScheme::Region:
+        return "region";
+    }
+    return "?";
+}
+
+bool
+parsePartitionScheme(const std::string &text, PartitionScheme &out)
+{
+    std::string t;
+    t.reserve(text.size());
+    for (char c : text) {
+        if (c == '-' || c == '_')
+            continue;
+        t.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (t == "roundrobin" || t == "rr") {
+        out = PartitionScheme::RoundRobin;
+        return true;
+    }
+    if (t == "region" || t == "regions") {
+        out = PartitionScheme::Region;
+        return true;
+    }
+    return false;
+}
+
+std::vector<int>
+roundRobinPartition(int total_nodes, int shards)
+{
+    std::vector<int> map(static_cast<std::size_t>(total_nodes));
+    for (int n = 0; n < total_nodes; ++n)
+        map[static_cast<std::size_t>(n)] = n % shards;
+    return map;
+}
+
+namespace
+{
+
+/**
+ * Boustrophedon fallback: walk the mesh slots in snake order (left to
+ * right on even rows, right to left on odd ones — consecutive runs
+ * always stay edge-adjacent), keep the slots that hold a node, and cut
+ * the resulting node sequence into S balanced contiguous runs. Works
+ * for any S <= total_nodes and any mesh shape.
+ */
+std::vector<int>
+snakePartition(int total_nodes, int shards, int mesh_x, int mesh_y,
+               const std::vector<int> &node_to_slot)
+{
+    const int slots = mesh_x * mesh_y;
+    std::vector<int> slot_node(static_cast<std::size_t>(slots),
+                               kInvalidNode);
+    for (int n = 0; n < total_nodes; ++n) {
+        const int s = node_to_slot.empty()
+                          ? n
+                          : node_to_slot[static_cast<std::size_t>(n)];
+        slot_node[static_cast<std::size_t>(s)] = n;
+    }
+
+    std::vector<int> map(static_cast<std::size_t>(total_nodes), 0);
+    int seen = 0;
+    for (int y = 0; y < mesh_y; ++y) {
+        for (int i = 0; i < mesh_x; ++i) {
+            const int x = (y % 2 == 0) ? i : mesh_x - 1 - i;
+            const int node = slot_node[static_cast<std::size_t>(
+                y * mesh_x + x)];
+            if (node == kInvalidNode)
+                continue;
+            // Balanced integer split: node k of N goes to run k*S/N.
+            map[static_cast<std::size_t>(node)] =
+                static_cast<int>((static_cast<long long>(seen) * shards) /
+                                 total_nodes);
+            ++seen;
+        }
+    }
+    return map;
+}
+
+} // namespace
+
+std::vector<int>
+regionPartition(int total_nodes, int shards, int mesh_x, int mesh_y,
+                const std::vector<int> &node_to_slot)
+{
+    if (shards < 1 || total_nodes < 1)
+        fatal("regionPartition needs >= 1 shard and >= 1 node");
+    if (shards > total_nodes)
+        fatal("regionPartition: more shards than nodes");
+
+    // Factor S = a x b (a row bands, b column bands) with the aspect
+    // ratio closest to the mesh's, preferring the first best pair in
+    // ascending a for determinism.
+    int best_a = 0, best_b = 0;
+    long long best_score = -1;
+    for (int a = 1; a <= shards; ++a) {
+        if (shards % a != 0)
+            continue;
+        const int b = shards / a;
+        if (a > mesh_y || b > mesh_x)
+            continue;
+        // |a/b - meshY/meshX| cross-multiplied to stay in integers.
+        const long long score = std::llabs(
+            static_cast<long long>(a) * mesh_x -
+            static_cast<long long>(b) * mesh_y);
+        if (best_score < 0 || score < best_score) {
+            best_score = score;
+            best_a = a;
+            best_b = b;
+        }
+    }
+
+    if (best_a > 0) {
+        const int a = best_a, b = best_b;
+        std::vector<int> map(static_cast<std::size_t>(total_nodes));
+        std::vector<int> count(static_cast<std::size_t>(shards), 0);
+        for (int n = 0; n < total_nodes; ++n) {
+            const int s = node_to_slot.empty()
+                              ? n
+                              : node_to_slot[static_cast<std::size_t>(n)];
+            const int x = s % mesh_x;
+            const int y = s / mesh_x;
+            // Balanced integer bands: row y is in band y*a/meshY.
+            const int br = (y * a) / mesh_y;
+            const int bc = (x * b) / mesh_x;
+            const int shard = br * b + bc;
+            map[static_cast<std::size_t>(n)] = shard;
+            ++count[static_cast<std::size_t>(shard)];
+        }
+        // Occupied slots can cluster (meshes larger than the node
+        // count): only accept the grid split if every shard got nodes.
+        if (std::find(count.begin(), count.end(), 0) == count.end())
+            return map;
+    }
+
+    return snakePartition(total_nodes, shards, mesh_x, mesh_y,
+                          node_to_slot);
+}
+
+std::vector<int>
+buildPartition(PartitionScheme scheme, int total_nodes, int shards,
+               int mesh_x, int mesh_y,
+               const std::vector<int> &node_to_slot)
+{
+    switch (scheme) {
+      case PartitionScheme::RoundRobin:
+        return roundRobinPartition(total_nodes, shards);
+      case PartitionScheme::Region:
+        return regionPartition(total_nodes, shards, mesh_x, mesh_y,
+                               node_to_slot);
+    }
+    fatal("unknown partition scheme");
+}
+
+LookaheadMatrix
+buildLookaheadMatrix(const std::vector<int> &node_shard, int shards,
+                     FunctionRef<Tick(NodeId, NodeId)> pair_lat)
+{
+    LookaheadMatrix m;
+    m.shards = shards;
+    m.pair.assign(static_cast<std::size_t>(shards) *
+                      static_cast<std::size_t>(shards),
+                  kMaxTick);
+    const int total = static_cast<int>(node_shard.size());
+    for (NodeId a = 0; a < total; ++a) {
+        const int i = node_shard[static_cast<std::size_t>(a)];
+        for (NodeId b = 0; b < total; ++b) {
+            if (a == b)
+                continue;
+            const int j = node_shard[static_cast<std::size_t>(b)];
+            Tick &slot = m.pair[static_cast<std::size_t>(i) *
+                                    static_cast<std::size_t>(shards) +
+                                static_cast<std::size_t>(j)];
+            // A zero entry would let horizons equal the earliest event
+            // and stall the engine; every real interaction takes time.
+            Tick lat = pair_lat(a, b);
+            if (lat < 1)
+                lat = 1;
+            if (lat < slot)
+                slot = lat;
+        }
+    }
+
+    // Close the matrix under the triangle inequality (Floyd-Warshall
+    // with saturating adds). Influence between shards is transitive — a
+    // message from shard i can wake shard k, whose reaction reaches
+    // shard j — so the horizon bound min_i(E_i + L[i][j]) is only sound
+    // when L[i][j] <= L[i][k] + L[k][j] for every relay k. Closure also
+    // gives the diagonal of single-node shards its true bound (the
+    // cheapest round trip through a neighbour instead of "never"), and
+    // keeps pairs whose direct routes died reachable through shards
+    // that can still relay for them.
+    for (int k = 0; k < shards; ++k) {
+        for (int i = 0; i < shards; ++i) {
+            const Tick ik = m.at(i, k);
+            if (ik == kMaxTick)
+                continue;
+            for (int j = 0; j < shards; ++j) {
+                const Tick via = satAddTick(ik, m.at(k, j));
+                Tick &slot = m.pair[static_cast<std::size_t>(i) *
+                                        static_cast<std::size_t>(shards) +
+                                    static_cast<std::size_t>(j)];
+                if (via < slot)
+                    slot = via;
+            }
+        }
+    }
+    return m;
+}
+
+} // namespace pimdsm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Node-to-shard partitioning and the per-shard-pair lookahead matrix
+ * for the windowed parallel kernel.
+ *
+ * The partition decides which simulation shard owns each node. It is a
+ * pure performance knob: the kernel's barrier commits are canonical for
+ * any mapping, so results are bit-identical across schemes (the
+ * differential suite pins RoundRobin vs Region). What the mapping does
+ * change is the *lookahead matrix* L, where L[i][j] is a lower bound on
+ * the latency of any message from a node of shard i to a node of shard
+ * j. The engine advances shard j to min over i of (E_i + L[i][j]) — the
+ * classic conservative (Chandy-Misra-Bryant) horizon computed from the
+ * static matrix, with no runtime null messages — so a partition that
+ * keeps communicating nodes together (large inter-region distances)
+ * buys shards longer windows between barriers.
+ */
+
+#ifndef PIMDSM_SIM_PARTITION_HH
+#define PIMDSM_SIM_PARTITION_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/function_ref.hh"
+#include "sim/types.hh"
+
+namespace pimdsm
+{
+
+const char *partitionSchemeName(PartitionScheme s);
+
+/** Parse "roundrobin" / "region" (case-insensitive). */
+bool parsePartitionScheme(const std::string &text, PartitionScheme &out);
+
+/** PR 8's node % S mapping (kept as the differential reference). */
+std::vector<int> roundRobinPartition(int total_nodes, int shards);
+
+/**
+ * Map nodes to contiguous mesh regions: factor S into Sr x Sc strips of
+ * the R x C mesh (the pair closest to the mesh aspect ratio) and split
+ * rows/columns into balanced integer bands. @p node_to_slot is the
+ * physical placement permutation (empty = identity) — the split runs
+ * over *slots* so an interleaved P/D placement still yields spatially
+ * contiguous regions. Falls back to a boustrophedon (snake-order) split
+ * of the occupied slots into S balanced contiguous runs whenever the
+ * grid split would leave any shard without nodes (non-factoring S,
+ * degenerate 1 x N meshes, more shards than rows/columns).
+ */
+std::vector<int> regionPartition(int total_nodes, int shards, int mesh_x,
+                                 int mesh_y,
+                                 const std::vector<int> &node_to_slot);
+
+/** Dispatch on @p scheme (arguments as regionPartition). */
+std::vector<int> buildPartition(PartitionScheme scheme, int total_nodes,
+                                int shards, int mesh_x, int mesh_y,
+                                const std::vector<int> &node_to_slot);
+
+/**
+ * Per-shard-pair conservative lookahead. pair[i * shards + j] bounds
+ * from below the latency of any message from a node of shard i to a
+ * *different* node of shard j (kMaxTick when shard i holds no such
+ * pair, e.g. the diagonal of single-node shards, or when every pair is
+ * currently unroutable). Built from a static per-node-pair bound, so
+ * contention, faults, and detours only add to it.
+ */
+struct LookaheadMatrix
+{
+    int shards = 0;
+    std::vector<Tick> pair;
+
+    Tick
+    at(int i, int j) const
+    {
+        return pair[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(shards) +
+                    static_cast<std::size_t>(j)];
+    }
+};
+
+/**
+ * Build the matrix for @p node_shard over all ordered node pairs.
+ * @p pair_lat(a, b) must return a lower bound on the latency of any
+ * a -> b message (kMaxTick if undeliverable until the next canonical
+ * topology event); it is evaluated for every ordered pair of distinct
+ * nodes.
+ */
+LookaheadMatrix
+buildLookaheadMatrix(const std::vector<int> &node_shard, int shards,
+                     FunctionRef<Tick(NodeId, NodeId)> pair_lat);
+
+/** kMaxTick-saturating addition (horizon arithmetic). */
+inline Tick
+satAddTick(Tick a, Tick b)
+{
+    return (a >= kMaxTick - b) ? kMaxTick : a + b;
+}
+
+} // namespace pimdsm
+
+#endif // PIMDSM_SIM_PARTITION_HH

@@ -21,12 +21,13 @@ cpuRelax()
 }
 
 /** Bounded spin, then yield: fast on dedicated cores, civil when the
- *  host has fewer cores than workers. */
+ *  host has fewer cores than workers. Returns the iteration count so
+ *  the serial thread can account its barrier wait deterministically. */
 template <typename Pred>
-void
+std::uint64_t
 spinUntil(Pred done)
 {
-    int spins = 0;
+    std::uint64_t spins = 0;
     while (!done()) {
         if (++spins < 256) {
             cpuRelax();
@@ -34,22 +35,47 @@ spinUntil(Pred done)
             std::this_thread::yield();
         }
     }
+    return spins;
 }
 
 } // namespace
+
+ShardedEngine::ShardedEngine(int shards, int threads,
+                             const LookaheadMatrix *matrix)
+    : shards_(shards),
+      threads_(threads <= 0 ? shards
+                            : (threads < shards ? threads : shards)),
+      uniformL_(0),
+      matrix_(matrix)
+{
+    if (shards_ < 1)
+        fatal("ShardedEngine needs at least one shard");
+    if (!matrix_ || matrix_->shards != shards_)
+        fatal("ShardedEngine lookahead matrix does not match the "
+              "shard count");
+    earliest_.assign(static_cast<std::size_t>(shards_), 0);
+    winBegin_.assign(static_cast<std::size_t>(shards_), 0);
+    winEnd_.assign(static_cast<std::size_t>(shards_), 0);
+    // Worker w executes shards w, w+T, ...; worker 0 is the caller's
+    // thread, so only T-1 threads are spawned (none in reference mode).
+    for (int w = 1; w < threads_; ++w)
+        workers_.emplace_back([this, w] { workerLoop(w); });
+}
 
 ShardedEngine::ShardedEngine(int shards, int threads, Tick lookahead)
     : shards_(shards),
       threads_(threads <= 0 ? shards
                             : (threads < shards ? threads : shards)),
-      lookahead_(lookahead)
+      uniformL_(lookahead),
+      matrix_(nullptr)
 {
     if (shards_ < 1)
         fatal("ShardedEngine needs at least one shard");
-    if (lookahead_ < 1)
+    if (uniformL_ < 1)
         fatal("ShardedEngine lookahead must be >= 1 tick");
-    // Worker w executes shards w, w+T, ...; worker 0 is the caller's
-    // thread, so only T-1 threads are spawned (none in reference mode).
+    earliest_.assign(static_cast<std::size_t>(shards_), 0);
+    winBegin_.assign(static_cast<std::size_t>(shards_), 0);
+    winEnd_.assign(static_cast<std::size_t>(shards_), 0);
     for (int w = 1; w < threads_; ++w)
         workers_.emplace_back([this, w] { workerLoop(w); });
 }
@@ -63,11 +89,13 @@ ShardedEngine::~ShardedEngine()
 }
 
 void
-ShardedEngine::runShardsOn(ShardTask &task, int worker, Tick begin,
-                           Tick end)
+ShardedEngine::runShardsOn(ShardTask &task, int worker)
 {
-    for (int s = worker; s < shards_; s += threads_)
-        task.runWindow(s, begin, end);
+    for (int s = worker; s < shards_; s += threads_) {
+        const std::size_t i = static_cast<std::size_t>(s);
+        if (winEnd_[i] > winBegin_[i])
+            task.runWindow(s, winBegin_[i], winEnd_[i]);
+    }
 }
 
 void
@@ -81,7 +109,7 @@ ShardedEngine::workerLoop(int worker)
         seen = gen_.load(std::memory_order_acquire);
         if (shutdown_.load(std::memory_order_relaxed))
             return;
-        runShardsOn(*task_, worker, winBegin_, winEnd_);
+        runShardsOn(*task_, worker);
         // Release: publishes this worker's shard mutations to the
         // barrier thread's subsequent acquire.
         outstanding_.fetch_sub(1, std::memory_order_release);
@@ -89,19 +117,17 @@ ShardedEngine::workerLoop(int worker)
 }
 
 void
-ShardedEngine::launchWindow(ShardTask &task, Tick begin, Tick end)
+ShardedEngine::launchRound(ShardTask &task)
 {
     if (threads_ == 1) {
-        runShardsOn(task, 0, begin, end);
+        runShardsOn(task, 0);
         return;
     }
     task_ = &task;
-    winBegin_ = begin;
-    winEnd_ = end;
     outstanding_.store(threads_ - 1, std::memory_order_relaxed);
     gen_.fetch_add(1, std::memory_order_release);
-    runShardsOn(task, 0, begin, end);
-    spinUntil([&] {
+    runShardsOn(task, 0);
+    barrierSpins_ += spinUntil([&] {
         return outstanding_.load(std::memory_order_acquire) == 0;
     });
 }
@@ -110,27 +136,56 @@ ShardedEngine::Stop
 ShardedEngine::run(ShardTask &task)
 {
     for (;;) {
-        // Earliest pending work across shards decides the next window.
-        // The window grid is fixed at multiples of L from tick 0, so
-        // which windows exist never depends on shard count, thread
-        // count, or where a previous run() stopped — only on when the
-        // task has work.
-        Tick min_next = kMaxTick;
+        Tick min_e = kMaxTick;
         for (int s = 0; s < shards_; ++s) {
             const Tick t = task.nextTime(s);
-            if (t < min_next)
-                min_next = t;
+            earliest_[static_cast<std::size_t>(s)] = t;
+            if (t < min_e)
+                min_e = t;
         }
-        if (min_next == kMaxTick)
+        const Tick clamp = task.horizonClamp();
+        // Nothing runnable below the clamp (kMaxTick earliest times
+        // land here for any clamp): the task must fire whatever sets
+        // the clamp — or is genuinely done — before rounds can resume.
+        if (min_e >= clamp)
             return Stop::Idle;
-        Tick begin = (min_next / lookahead_) * lookahead_;
-        if (begin < clock_)
-            begin = clock_;
 
-        launchWindow(task, begin, begin + lookahead_);
+        // Per-shard horizons. Monotone: a horizon once proven safe
+        // stays safe (nothing that could not arrive before it can
+        // start being able to), so a smaller recomputation — possible
+        // when a commit hands a far-ahead shard older work — never
+        // shrinks the window already granted.
+        for (int j = 0; j < shards_; ++j) {
+            Tick h;
+            if (matrix_) {
+                h = clamp;
+                for (int i = 0; i < shards_; ++i) {
+                    const Tick b = satAddTick(
+                        earliest_[static_cast<std::size_t>(i)],
+                        matrix_->at(i, j));
+                    if (b < h)
+                        h = b;
+                }
+            } else {
+                h = satAddTick(min_e, uniformL_);
+                if (clamp < h)
+                    h = clamp;
+            }
+            const std::size_t ji = static_cast<std::size_t>(j);
+            winBegin_[ji] = winEnd_[ji];
+            if (h > winEnd_[ji])
+                winEnd_[ji] = h;
+            if (winEnd_[ji] > clock_)
+                clock_ = winEnd_[ji];
+        }
+
+        launchRound(task);
         ++windows_;
-        clock_ = begin + lookahead_;
-        if (!task.commit(clock_))
+        // The round either grew some window past its shard's earliest
+        // event (it executed) or left min_e to a parked item, which
+        // commit() — whose hold-back bound strictly exceeds min_e —
+        // now drains: every iteration makes progress.
+        if (!task.commit(clamp))
             return Stop::Requested;
     }
 }

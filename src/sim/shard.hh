@@ -1,23 +1,32 @@
 /**
  * @file
- * Conservative-window parallel simulation engine.
+ * Conservative parallel simulation engine with per-shard horizons.
  *
  * A ShardedEngine drives S independent simulation shards in repeated
- * time windows [W, W + L): every shard executes its own events for the
- * window concurrently (one shard never touches another shard's state),
- * then all shards meet at a barrier where a single serial commit step
- * runs. L is the task's *lookahead* — a lower bound on the latency of
- * any cross-shard interaction — so work produced inside a window can
- * only become visible to another shard at or after the next window
- * boundary. Handoffs are parked in per-shard outboxes during the
- * window (single writer, no locks) and drained by the serial commit in
- * a canonical order, which makes results independent of both the shard
- * count and the worker-thread count (see DESIGN.md, "Parallel kernel &
- * lookahead").
+ * rounds: at each serial point it reads every shard's earliest pending
+ * time E_i and advances shard j to the horizon
+ *
+ *     H_j = min over i of (E_i + L[i][j])
+ *
+ * where L[i][j] — the *lookahead matrix* — is a static lower bound on
+ * the latency of any interaction from a node of shard i to a node of
+ * shard j (see sim/partition.hh). This is the classic conservative
+ * (Chandy-Misra-Bryant) bound computed from static topology instead of
+ * runtime null messages: no event of shard i at or after E_i can affect
+ * shard j before H_j, so shard j may execute everything strictly below
+ * H_j without ever seeing a message from the past. All shards then run
+ * their windows concurrently (one shard never touches another shard's
+ * state), meet at a barrier, and a single serial commit step drains the
+ * parked cross-shard work in a canonical order — which makes results
+ * independent of the shard count, the thread count, and the partition
+ * (see DESIGN.md, "Partitioning & the lookahead matrix").
+ *
+ * A uniform-lookahead convenience mode (single L for every pair)
+ * degenerates to H_j = min_i E_i + L for all j, the PR 8 behaviour.
  *
  * Threading: the engine owns a pool of spinning workers; shard s is
  * pinned to worker s % T. All cross-thread handoff is through two
- * atomics (a window generation counter and an arrival count), so every
+ * atomics (a round generation counter and an arrival count), so every
  * pre-barrier write happens-before every post-barrier read — the shard
  * state itself needs no locks. With threads == 1 the caller's thread
  * executes every shard in order and no workers are spawned; a
@@ -34,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/partition.hh"
 #include "sim/types.hh"
 
 namespace pimdsm
@@ -53,39 +63,61 @@ class ShardTask
      * Execute shard @p shard's events with timestamps in
      * [@p begin, @p end). Called concurrently for different shards;
      * must touch only shard-local state plus that shard's outboxes.
+     * @p begin is the shard's previous horizon (everything below it
+     * already ran); @p end never decreases between calls.
      */
     virtual void runWindow(int shard, Tick begin, Tick end) = 0;
 
     /**
-     * Earliest pending event time of @p shard (kMaxTick when idle).
-     * Called from the serial barrier step only.
+     * Earliest time at which @p shard could still affect anything: the
+     * minimum of its queue's next event tick and the park ticks of
+     * every not-yet-committed item (send, deferred op) the shard
+     * originated. Folding parked work in is what keeps the horizons
+     * safe — a parked send at tick t bounds arrivals by t + L exactly
+     * as a future event at t would. kMaxTick when fully idle. Called
+     * from the serial barrier step only.
      */
     virtual Tick nextTime(int shard) = 0;
 
     /**
-     * Serial barrier step after every window: drain outboxes in
-     * canonical order, schedule cross-shard deliveries (all of which
-     * the lookahead guarantees land at or after @p window_end), fire
-     * any global-timeline work due by @p window_end.
+     * Upper cap on every horizon this round (kMaxTick = no cap). The
+     * machine caps at the next pending fault's fire tick so no shard
+     * runs past a topology change before it commits.
+     */
+    virtual Tick horizonClamp() { return kMaxTick; }
+
+    /**
+     * Serial barrier step after every round: commit the canonical
+     * prefix of parked cross-shard work — every item strictly below
+     * the task's own hold-back bound, additionally capped at @p cap —
+     * in a canonical order independent of how rounds grouped the
+     * items.
      *
      * @return false to stop the run (work may remain pending).
      */
-    virtual bool commit(Tick window_end) = 0;
+    virtual bool commit(Tick cap) = 0;
 };
 
 class ShardedEngine
 {
   public:
     /**
-     * @param shards     number of simulation domains (>= 1).
-     * @param threads    worker threads; 0 = one per shard, 1 = run
-     *                   everything on the caller's thread (reference
-     *                   mode). Clamped to [1, shards].
-     * @param lookahead  conservative window length L (>= 1): no
-     *                   cross-shard effect may take hold sooner than L
-     *                   ticks after it was initiated.
+     * Matrix-driven engine.
+     *
+     * @param shards   number of simulation domains (>= 1).
+     * @param threads  worker threads; 0 = one per shard, 1 = run
+     *                 everything on the caller's thread (reference
+     *                 mode). Clamped to [1, shards].
+     * @param matrix   per-shard-pair lookahead (not owned; must have
+     *                 matrix->shards == shards and outlive the engine;
+     *                 entries may be rebuilt in place between run()
+     *                 calls or from within commit()/horizonClamp()).
      */
+    ShardedEngine(int shards, int threads, const LookaheadMatrix *matrix);
+
+    /** Uniform-lookahead convenience: L[i][j] = @p lookahead (>= 1). */
     ShardedEngine(int shards, int threads, Tick lookahead);
+
     ~ShardedEngine();
 
     ShardedEngine(const ShardedEngine &) = delete;
@@ -94,49 +126,82 @@ class ShardedEngine
     enum class Stop
     {
         Requested, ///< task.commit() returned false
-        Idle,      ///< every shard idle and the last commit added nothing
+        Idle,      ///< nothing runnable below the task's horizon clamp
     };
 
     /**
-     * Run windows until the task stops the run or every shard goes
-     * idle. Resumable: a second call continues from the window clock
-     * the first one reached (the grid stays aligned to multiples of L
-     * from 0, so a run's window boundaries do not depend on where
-     * previous calls stopped).
+     * Run rounds until the task stops the run, or nothing is runnable
+     * below the task's horizonClamp() (Idle — with an unclamped task
+     * that means every shard is out of work). Resumable: horizons only
+     * ever grow, so a later call continues exactly where this one
+     * stopped.
      */
     Stop run(ShardTask &task);
 
     int numShards() const { return shards_; }
     int numThreads() const { return threads_; }
-    Tick lookahead() const { return lookahead_; }
 
-    /** End of the last committed window (the global window clock). */
+    /** Uniform lookahead (0 when driven by a matrix). */
+    Tick lookahead() const { return uniformL_; }
+
+    /** Largest horizon any shard has been advanced to. */
     Tick now() const { return clock_; }
 
-    /** Windows executed over this engine's lifetime. */
+    /** Rounds (concurrent window launches + commits) run so far. */
     std::uint64_t windowsRun() const { return windows_; }
+
+    /**
+     * Barrier-wait spin iterations accumulated by the serial thread
+     * while waiting for workers (deterministic loop count, not wall
+     * time — usable under sanitizers and in hard-determinism CI).
+     */
+    std::uint64_t barrierSpins() const { return barrierSpins_; }
+
+    /**
+     * Void every granted horizon and restart the window grid at @p t
+     * (serial phases only, task quiescent). Horizons overshoot the
+     * last real event by partition-dependent amounts; a phase barrier
+     * realigns all clocks to a canonical time (see
+     * Machine::alignWindowedClocks) and must reset the engine's grants
+     * to match, or the stale horizons would pin next-phase windows at
+     * partition-dependent offsets.
+     */
+    void
+    resetWindows(Tick t)
+    {
+        for (std::size_t i = 0; i < winEnd_.size(); ++i)
+            winBegin_[i] = winEnd_[i] = t;
+        clock_ = t;
+    }
 
   private:
     void workerLoop(int worker);
-    void runShardsOn(ShardTask &task, int worker, Tick begin, Tick end);
-    void launchWindow(ShardTask &task, Tick begin, Tick end);
+    void runShardsOn(ShardTask &task, int worker);
+    void launchRound(ShardTask &task);
 
     const int shards_;
     const int threads_;
-    const Tick lookahead_;
+    const Tick uniformL_;
+    const LookaheadMatrix *matrix_;
     Tick clock_ = 0;
     std::uint64_t windows_ = 0;
+    std::uint64_t barrierSpins_ = 0;
+
+    /** Scratch: per-shard earliest pending time this round. */
+    std::vector<Tick> earliest_;
 
     // --- worker-pool handoff (all cross-thread state) ---------------
-    /** Bumped (release) to publish a new window; workers acquire. */
+    /** Bumped (release) to publish a new round; workers acquire. */
     std::atomic<std::uint64_t> gen_{0};
-    /** Workers still executing the current window. */
+    /** Workers still executing the current round. */
     std::atomic<int> outstanding_{0};
     std::atomic<bool> shutdown_{false};
-    /** Window arguments, published before the gen_ bump. */
+    /** Round arguments, published before the gen_ bump. */
     ShardTask *task_ = nullptr;
-    Tick winBegin_ = 0;
-    Tick winEnd_ = 0;
+    /** Per-shard window [winBegin_[s], winEnd_[s]); winEnd_ holds the
+     *  monotone horizons, winBegin_ the previous round's values. */
+    std::vector<Tick> winBegin_;
+    std::vector<Tick> winEnd_;
 
     std::vector<std::thread> workers_;
 };

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Unit tests for the node-to-shard partitioner and the lookahead
+ * matrix (sim/partition.hh).
+ *
+ * The partition is a pure performance knob — the differential suite in
+ * test_shard_kernel.cc proves results are identical across schemes —
+ * so these tests pin the *shapes*: which region each node lands in,
+ * when the grid split falls back to the snake walk, and the matrix
+ * properties the engine's horizon bound depends on (triangle closure,
+ * symmetric meshes giving symmetric matrices, dead links saturating to
+ * kMaxTick and heals restoring the static bound).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "machine/builder.hh"
+#include "machine/machine.hh"
+#include "sim/partition.hh"
+
+namespace pimdsm
+{
+namespace
+{
+
+// ============================================== scheme plumbing =====
+
+TEST(Partition, ParseSchemeNames)
+{
+    PartitionScheme s;
+    EXPECT_TRUE(parsePartitionScheme("roundrobin", s));
+    EXPECT_EQ(s, PartitionScheme::RoundRobin);
+    EXPECT_TRUE(parsePartitionScheme("Round-Robin", s));
+    EXPECT_EQ(s, PartitionScheme::RoundRobin);
+    EXPECT_TRUE(parsePartitionScheme("rr", s));
+    EXPECT_EQ(s, PartitionScheme::RoundRobin);
+    EXPECT_TRUE(parsePartitionScheme("region", s));
+    EXPECT_EQ(s, PartitionScheme::Region);
+    EXPECT_TRUE(parsePartitionScheme("REGIONS", s));
+    EXPECT_EQ(s, PartitionScheme::Region);
+    EXPECT_FALSE(parsePartitionScheme("hilbert", s));
+    EXPECT_FALSE(parsePartitionScheme("", s));
+}
+
+TEST(Partition, SchemeNamesRoundTrip)
+{
+    for (auto s : {PartitionScheme::RoundRobin, PartitionScheme::Region}) {
+        PartitionScheme back;
+        ASSERT_TRUE(parsePartitionScheme(partitionSchemeName(s), back));
+        EXPECT_EQ(back, s);
+    }
+}
+
+TEST(Partition, RoundRobinMapsModulo)
+{
+    const auto map = roundRobinPartition(10, 4);
+    ASSERT_EQ(map.size(), 10u);
+    for (int n = 0; n < 10; ++n)
+        EXPECT_EQ(map[static_cast<std::size_t>(n)], n % 4);
+}
+
+// ============================================== region splits =======
+
+TEST(Partition, RegionGridSplit8x4)
+{
+    // 8x4 mesh, 32 nodes, 8 shards: S factors as 2 row bands x 4
+    // column bands (aspect ratio matches the mesh exactly), so every
+    // shard is a contiguous 2x2 block.
+    const auto map = regionPartition(32, 8, /*mesh_x=*/8, /*mesh_y=*/4,
+                                     /*node_to_slot=*/{});
+    ASSERT_EQ(map.size(), 32u);
+    for (int n = 0; n < 32; ++n) {
+        const int x = n % 8, y = n / 8;
+        EXPECT_EQ(map[static_cast<std::size_t>(n)], (y / 2) * 4 + x / 2)
+            << "node " << n;
+    }
+}
+
+TEST(Partition, RegionDegenerateRowMesh)
+{
+    // 8x1 mesh, 4 shards: only 1 x 4 factors, giving runs of 2.
+    const auto map = regionPartition(8, 4, /*mesh_x=*/8, /*mesh_y=*/1,
+                                     /*node_to_slot=*/{});
+    for (int n = 0; n < 8; ++n)
+        EXPECT_EQ(map[static_cast<std::size_t>(n)], n / 2) << "node " << n;
+}
+
+TEST(Partition, RegionSnakeFallbackWhenShardsDoNotFactor)
+{
+    // 3x2 mesh, 6 nodes, 5 shards: 5 factors only as 1x5 or 5x1,
+    // neither fits, so the snake walk takes over. The boustrophedon
+    // order visits nodes 0,1,2 then 5,4,3; the balanced cut k*5/6
+    // gives runs of sizes 2,1,1,1,1 along that walk.
+    const auto map = regionPartition(6, 5, /*mesh_x=*/3, /*mesh_y=*/2,
+                                     /*node_to_slot=*/{});
+    const std::vector<int> expect = {0, 0, 1, 4, 3, 2};
+    EXPECT_EQ(map, expect);
+}
+
+TEST(Partition, RegionRespectsPlacementPermutation)
+{
+    // 2x2 mesh, node_to_slot scatters the nodes; the column split must
+    // follow the *slots*, so nodes 0 and 3 (slots 0 and 2, the left
+    // column) share a shard despite non-adjacent node ids.
+    const auto map = regionPartition(4, 2, /*mesh_x=*/2, /*mesh_y=*/2,
+                                     /*node_to_slot=*/{0, 3, 1, 2});
+    const std::vector<int> expect = {0, 1, 1, 0};
+    EXPECT_EQ(map, expect);
+}
+
+TEST(Partition, EveryShardGetsANode)
+{
+    // Sweep shapes and shard counts: a partition that leaves a shard
+    // empty would idle an engine slot forever.
+    for (int mx : {1, 2, 3, 5, 8}) {
+        for (int my : {1, 2, 4}) {
+            const int nodes = mx * my;
+            for (int s = 1; s <= nodes; ++s) {
+                const auto map =
+                    regionPartition(nodes, s, mx, my, {});
+                std::vector<int> count(static_cast<std::size_t>(s), 0);
+                for (int v : map) {
+                    ASSERT_GE(v, 0);
+                    ASSERT_LT(v, s);
+                    ++count[static_cast<std::size_t>(v)];
+                }
+                for (int c : count)
+                    EXPECT_GT(c, 0) << mx << "x" << my << " S=" << s;
+            }
+        }
+    }
+}
+
+// ============================================== lookahead matrix ====
+
+TEST(Lookahead, SatAddSaturates)
+{
+    EXPECT_EQ(satAddTick(5, 7), 12u);
+    EXPECT_EQ(satAddTick(kMaxTick, 1), kMaxTick);
+    EXPECT_EQ(satAddTick(kMaxTick - 3, 5), kMaxTick);
+    EXPECT_EQ(satAddTick(kMaxTick - 3, 2), kMaxTick - 1);
+}
+
+TEST(Lookahead, SymmetricLatencyGivesSymmetricMatrix)
+{
+    const std::vector<int> shard = {0, 1, 0, 1}; // round-robin, 2 shards
+    const auto lat = [](NodeId a, NodeId b) {
+        return static_cast<Tick>((a > b ? a - b : b - a) * 10);
+    };
+    const LookaheadMatrix m = buildLookaheadMatrix(shard, 2, lat);
+    EXPECT_EQ(m.at(0, 1), 10u);
+    EXPECT_EQ(m.at(1, 0), 10u);
+    EXPECT_EQ(m.at(0, 0), 20u);
+    EXPECT_EQ(m.at(1, 1), 20u);
+}
+
+TEST(Lookahead, SingleNodeShardDiagonalClosesThroughNeighbour)
+{
+    // A shard holding one node has no intra-shard pair; before closure
+    // its diagonal would be kMaxTick ("it can never affect itself"),
+    // which is unsound — it can, via a round trip through the other
+    // shard. Closure gives the true bound 2L.
+    const std::vector<int> shard = {0, 1};
+    const LookaheadMatrix m =
+        buildLookaheadMatrix(shard, 2, [](NodeId, NodeId) {
+            return static_cast<Tick>(7);
+        });
+    EXPECT_EQ(m.at(0, 1), 7u);
+    EXPECT_EQ(m.at(1, 0), 7u);
+    EXPECT_EQ(m.at(0, 0), 14u);
+    EXPECT_EQ(m.at(1, 1), 14u);
+}
+
+TEST(Lookahead, TriangleClosureTightensLongPairs)
+{
+    // Direct 0 -> 2 latency is 100 but a relay through shard 1 makes
+    // influence possible after 3 + 4: the closed bound must honour the
+    // cheapest transitive route, not the direct link.
+    const std::vector<int> shard = {0, 1, 2};
+    const auto lat = [](NodeId a, NodeId b) -> Tick {
+        const int lo = a < b ? a : b, hi = a < b ? b : a;
+        if (lo == 0 && hi == 1)
+            return 3;
+        if (lo == 1 && hi == 2)
+            return 4;
+        return 100; // 0 <-> 2
+    };
+    const LookaheadMatrix m = buildLookaheadMatrix(shard, 3, lat);
+    EXPECT_EQ(m.at(0, 2), 7u);
+    EXPECT_EQ(m.at(2, 0), 7u);
+    EXPECT_EQ(m.at(0, 0), 6u); // 0 -> 1 -> 0
+    EXPECT_EQ(m.at(2, 2), 8u); // 2 -> 1 -> 2
+}
+
+TEST(Lookahead, ZeroLatencyClampsToOne)
+{
+    // A zero entry would grant horizons equal to the earliest pending
+    // event and stall the engine; the builder floors raw pairs at 1.
+    const std::vector<int> shard = {0, 1};
+    const LookaheadMatrix m =
+        buildLookaheadMatrix(shard, 2, [](NodeId, NodeId) {
+            return static_cast<Tick>(0);
+        });
+    EXPECT_EQ(m.at(0, 1), 1u);
+    EXPECT_EQ(m.at(0, 0), 2u);
+}
+
+TEST(Lookahead, DeadPairRelaysThroughThirdShard)
+{
+    // The direct 0 <-> 1 route is severed (kMaxTick) but both still
+    // talk to shard 2: influence flows through the relay, so the
+    // closed matrix must keep the pair finite.
+    const std::vector<int> shard = {0, 1, 2};
+    const auto lat = [](NodeId a, NodeId b) -> Tick {
+        const int lo = a < b ? a : b, hi = a < b ? b : a;
+        if (lo == 0 && hi == 1)
+            return kMaxTick;
+        return 5;
+    };
+    const LookaheadMatrix m = buildLookaheadMatrix(shard, 3, lat);
+    EXPECT_EQ(m.at(0, 1), 10u); // 0 -> 2 -> 1
+    EXPECT_EQ(m.at(1, 0), 10u);
+    EXPECT_EQ(m.at(0, 2), 5u);
+}
+
+TEST(Lookahead, FullySeveredPairsStaySaturated)
+{
+    const std::vector<int> shard = {0, 1};
+    const LookaheadMatrix m =
+        buildLookaheadMatrix(shard, 2, [](NodeId, NodeId) {
+            return kMaxTick;
+        });
+    EXPECT_EQ(m.at(0, 1), kMaxTick);
+    EXPECT_EQ(m.at(1, 0), kMaxTick);
+    EXPECT_EQ(m.at(0, 0), kMaxTick);
+}
+
+// ============================================== machine rebuild =====
+
+MachineConfig
+twoNodeCfg()
+{
+    MachineConfig cfg = makeBaseConfig(ArchKind::Numa);
+    cfg.numPNodes = 2;
+    cfg.numThreads = 2;
+    cfg.pNodeMemBytes = 1 << 20;
+    cfg.partition = PartitionScheme::RoundRobin;
+    cfg.shards.count = 2;
+    cfg.shards.threads = 1;
+    cfg.net.meshX = 2;
+    cfg.net.meshY = 1;
+    cfg.validate();
+    return cfg;
+}
+
+TEST(LookaheadMachine, LinkDeathAndHealRebuildTheMatrix)
+{
+    Machine m(twoNodeCfg());
+    const LookaheadMatrix &L = m.lookaheadMatrix();
+    ASSERT_EQ(L.shards, 2);
+    const Tick d = L.at(0, 1);
+    ASSERT_NE(d, kMaxTick);
+    EXPECT_EQ(L.at(1, 0), d); // symmetric mesh
+
+    // A single-node shard's mesh round trip is 2d, but the machine
+    // also clamps the diagonal to syncCap(): a deferred op parked at t
+    // re-injects into its own shard at t + syncCap through the
+    // barrier, a self edge the mesh closure cannot see.
+    const Tick diag = std::min(2 * d, m.syncCap());
+    EXPECT_EQ(L.at(0, 0), diag);
+    EXPECT_EQ(L.at(1, 1), diag);
+
+    // Kill the channel out of router (0, 0) east (a physical channel
+    // carries both directed links): the two-node mesh partitions, so
+    // the cross pair saturates — but the diagonals stay at the op
+    // channel's bound, which no mesh cut severs.
+    m.mesh().setLinkAlive(0, 0, /*dir=E*/ 0, false);
+    EXPECT_EQ(L.at(0, 1), kMaxTick);
+    EXPECT_EQ(L.at(1, 0), kMaxTick);
+    EXPECT_EQ(L.at(0, 0), m.syncCap());
+    EXPECT_EQ(L.at(1, 1), m.syncCap());
+
+    // Healing must restore the static bound exactly.
+    m.mesh().setLinkAlive(0, 0, 0, true);
+    EXPECT_EQ(L.at(0, 1), d);
+    EXPECT_EQ(L.at(1, 0), d);
+    EXPECT_EQ(L.at(0, 0), diag);
+    EXPECT_EQ(L.at(1, 1), diag);
+}
+
+} // namespace
+} // namespace pimdsm

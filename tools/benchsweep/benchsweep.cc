@@ -8,10 +8,13 @@
  * captures each one's stdout+stderr to <outdir>/<bench>.log, and
  * prints a pass/fail summary with per-bench wall time.
  *
- * Usage: pimdsm-benchsweep [-j N] [-o outdir] [benchdir]
+ * Usage: pimdsm-benchsweep [-j N] [-o outdir] [-p SCHEME] [benchdir]
  *   benchdir  directory of bench binaries (default: build/bench)
  *   -j N      worker processes (default: hardware concurrency)
  *   -o DIR    log directory (default: benchsweep-logs)
+ *   -p SCHEME shard partition scheme forwarded to every bench via
+ *             PIMDSM_PARTITION (roundrobin|region); lets one sweep
+ *             compare schemes without editing bench sources
  *
  * Exit status is the number of failing benches (0 = all green).
  */
@@ -37,6 +40,7 @@ struct BenchJob
 {
     fs::path binary;
     fs::path log;
+    std::string partition; // forwarded as PIMDSM_PARTITION if set
     int exitCode = -1;
     double wallSeconds = 0.0;
 };
@@ -57,8 +61,12 @@ runJob(BenchJob &job)
     // Each bench writes its BENCH_*.json into the current directory;
     // run from the log directory so artifacts land in one place, and
     // shell-redirect output to the per-bench log.
+    const std::string env =
+        job.partition.empty()
+            ? std::string{}
+            : "PIMDSM_PARTITION='" + job.partition + "' ";
     const std::string cmd = "cd '" + job.log.parent_path().string() +
-                            "' && '" +
+                            "' && " + env + "'" +
                             fs::absolute(job.binary).string() + "' > '" +
                             fs::absolute(job.log).string() + "' 2>&1";
     const auto t0 = std::chrono::steady_clock::now();
@@ -77,6 +85,7 @@ main(int argc, char **argv)
 {
     fs::path benchDir = "build/bench";
     fs::path outDir = "benchsweep-logs";
+    std::string partition;
     unsigned workers = std::thread::hardware_concurrency();
     if (workers == 0)
         workers = 4;
@@ -88,11 +97,19 @@ main(int argc, char **argv)
                 std::max(1, std::atoi(argv[++i])));
         } else if (arg == "-o" && i + 1 < argc) {
             outDir = argv[++i];
+        } else if (arg == "-p" && i + 1 < argc) {
+            partition = argv[++i];
+            if (partition != "roundrobin" && partition != "region") {
+                std::cerr << "benchsweep: unknown partition scheme '"
+                          << partition
+                          << "' (want roundrobin|region)\n";
+                return 2;
+            }
         } else if (!arg.empty() && arg[0] != '-') {
             benchDir = arg;
         } else {
             std::cerr << "usage: pimdsm-benchsweep [-j N] [-o outdir] "
-                         "[benchdir]\n";
+                         "[-p roundrobin|region] [benchdir]\n";
             return 2;
         }
     }
@@ -112,6 +129,7 @@ main(int argc, char **argv)
         BenchJob job;
         job.binary = entry.path();
         job.log = outDir / (entry.path().filename().string() + ".log");
+        job.partition = partition;
         jobs.push_back(std::move(job));
     }
     // Deterministic order (directory iteration order is unspecified).
@@ -126,7 +144,10 @@ main(int argc, char **argv)
     }
 
     std::cout << "benchsweep: " << jobs.size() << " benches, "
-              << workers << " workers\n";
+              << workers << " workers";
+    if (!partition.empty())
+        std::cout << ", PIMDSM_PARTITION=" << partition;
+    std::cout << "\n";
 
     std::atomic<std::size_t> next{0};
     std::mutex ioMutex;

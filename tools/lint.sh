@@ -175,6 +175,22 @@ if [ -n "$hits" ]; then
     complain "cached EventQueue/StatSet member in src/proto or src/mem (route through ProtoContext::eq()/stats() per call — shard routing is thread-local):" "$hits"
 fi
 
+# --- 9. Node-to-shard mapping discipline ------------------------------
+# The node→shard map is single-source: src/sim/partition.cc builds it
+# (round-robin modulo, region blocks, snake fallback) and everyone else
+# consumes the PartitionMap. Ad-hoc `node % shards` arithmetic anywhere
+# else bakes the round-robin assumption into a consumer and silently
+# disagrees with the map once the Region scheme (the default) is
+# active — the exact class of bug the partition differential tests
+# exist to catch.
+hits=$(src_files | cat - <(find tools -name '*.cc' | sort) |
+       grep -v 'src/sim/partition.cc' |
+       xargs grep -nE '%\s*[A-Za-z_.]*[sS]hards' 2>/dev/null |
+       grep -vE '^\s*[^:]+:[0-9]+:\s*(//|\*|/\*)')
+if [ -n "$hits" ]; then
+    complain "node % shards arithmetic outside src/sim/partition.cc (consume the PartitionMap):" "$hits"
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "lint: FAILED" >&2
     exit 1
